@@ -1,0 +1,34 @@
+# Convenience targets for the SuperGlue reproduction.
+
+PY ?= python3
+
+.PHONY: install test bench campaign fig7 examples clean
+
+install:
+	pip install -e . --no-build-isolation || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+# The paper-scale campaign (500 faults per service).
+campaign:
+	REPRO_CAMPAIGN_FAULTS=500 $(PY) -m pytest \
+		benchmarks/bench_table2_campaign.py --benchmark-only -s
+
+fig7:
+	$(PY) -m repro fig7 --requests 2000
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/custom_service.py
+	$(PY) examples/fault_injection_campaign.py 50
+	$(PY) examples/webserver_demo.py 500
+	$(PY) examples/embedded_sensor_logger.py
+	$(PY) examples/latent_fault_monitor.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

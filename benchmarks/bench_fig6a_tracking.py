@@ -1,0 +1,39 @@
+"""Fig. 6(a): infrastructure overhead with descriptor state tracking (us).
+
+For each of the six system components, measures the per-operation cost of
+the client-side descriptor tracking, comparing SuperGlue-generated stubs
+with the hand-written C^3 stubs.  Paper result: SuperGlue has a similar
+amount of overhead as C^3 (microsecond scale per tracked operation).
+"""
+
+import pytest
+
+from repro.analysis import measure_tracking_overhead
+from repro.idl_specs import SERVICES
+
+
+@pytest.mark.parametrize("service", SERVICES)
+def test_fig6a_tracking_overhead(benchmark, service):
+    rows = {}
+
+    def run():
+        for mode in ("c3", "superglue"):
+            rows[mode] = measure_tracking_overhead(service, mode, iterations=6)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    sg = rows["superglue"]
+    c3 = rows["c3"]
+    print(
+        f"\nFig6a {service:6s}  "
+        f"SuperGlue {sg['per_op_us']:.3f} us/op ({sg['tracked_ops']} ops)   "
+        f"C^3 {c3['per_op_us']:.3f} us/op ({c3['tracked_ops']} ops)"
+    )
+    benchmark.extra_info.update(
+        service=service,
+        superglue_per_op_us=sg["per_op_us"],
+        c3_per_op_us=c3["per_op_us"],
+    )
+    # Paper shape: the two systems' tracking overheads are similar.
+    assert sg["per_op_us"] > 0 and c3["per_op_us"] > 0
+    assert 0.4 < sg["per_op_us"] / c3["per_op_us"] < 2.5

@@ -1,0 +1,63 @@
+"""Fig. 6(b): per-descriptor recovery overhead (us).
+
+Average (and stdev) time to recover a descriptor to its "expected" state
+from the fault state, per service, SuperGlue vs C^3.  Paper shape: the
+cost correlates with the number of recovery mechanisms a service engages
+— recovering an event descriptor (T0/T1/R0/D1/G0/G1/U0) costs more than a
+lock descriptor (T0/R0/T1 only).
+"""
+
+import pytest
+
+from repro.analysis import measure_recovery_overhead
+from repro.idl_specs import SERVICES
+from repro.system import compile_all_interfaces
+
+RUNS = 25
+
+
+@pytest.mark.parametrize("service", SERVICES)
+def test_fig6b_recovery_overhead(benchmark, service):
+    rows = {}
+
+    def run():
+        for mode in ("c3", "superglue"):
+            rows[mode] = measure_recovery_overhead(service, mode, runs=RUNS)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    sg = rows["superglue"]
+    c3 = rows["c3"]
+    mechanisms = compile_all_interfaces()[service].ir.mechanisms()
+    print(
+        f"\nFig6b {service:6s}  "
+        f"SuperGlue {sg['mean_us']:.2f}+/-{sg['stdev_us']:.2f} us  "
+        f"C^3 {c3['mean_us']:.2f}+/-{c3['stdev_us']:.2f} us  "
+        f"(mechanisms: {','.join(mechanisms)})"
+    )
+    benchmark.extra_info.update(
+        service=service,
+        superglue_mean_us=sg["mean_us"],
+        c3_mean_us=c3["mean_us"],
+        mechanisms=",".join(mechanisms),
+    )
+    assert sg["samples"] > 0 and c3["samples"] > 0
+
+
+def test_fig6b_event_costs_more_than_lock(benchmark):
+    """The paper's explicit comparison: Event > Lock recovery cost."""
+    results = {}
+
+    def run():
+        for service in ("lock", "event"):
+            results[service] = measure_recovery_overhead(
+                service, "superglue", runs=RUNS
+            )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nFig6b shape: event {results['event']['mean_us']:.2f} us "
+        f">= lock {results['lock']['mean_us']:.2f} us"
+    )
+    assert results["event"]["mean_us"] >= results["lock"]["mean_us"] * 0.8

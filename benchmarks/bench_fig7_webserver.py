@@ -1,0 +1,87 @@
+"""Fig. 7: web-server throughput across fault-tolerance configurations.
+
+Five bars, as in the paper: Apache (modelled), COMPOSITE base, COMPOSITE
+with C^3, COMPOSITE with SuperGlue, and COMPOSITE with SuperGlue under
+periodic fault injection.  Paper numbers: ~17600 / ~16200 / ~14500
+(-10.5%) / ~14281 (-11.84%) requests/s, and ~13.6% slowdown with faults;
+throughput recovers within ~2 s of each fault.  Absolute simulated
+numbers differ (virtual time); the *relative* shape is the target.
+"""
+
+import pytest
+
+from repro.webserver.apache_model import ApacheModel
+from repro.webserver.loadgen import run_webserver
+
+_RPS = {}
+
+
+def test_fig7_apache_baseline(benchmark, ws_requests):
+    rps = benchmark.pedantic(
+        lambda: ApacheModel().throughput_rps(ws_requests), rounds=1, iterations=1
+    )
+    _RPS["apache"] = rps
+    print(f"\nFig7 apache      {rps:>12,.0f} req/s (modelled)")
+    benchmark.extra_info["rps"] = rps
+
+
+@pytest.mark.parametrize("mode", ["none", "c3", "superglue"])
+def test_fig7_composite_modes(benchmark, mode, ws_requests):
+    result = benchmark.pedantic(
+        lambda: run_webserver(ft_mode=mode, n_requests=ws_requests),
+        rounds=1,
+        iterations=1,
+    )
+    _RPS[mode] = result.throughput_rps
+    assert result.served == ws_requests
+    assert result.errors == 0
+    print(f"\nFig7 {mode:10s} {result.throughput_rps:>12,.0f} req/s")
+    benchmark.extra_info["rps"] = result.throughput_rps
+    benchmark.extra_info["mode"] = mode
+
+
+def test_fig7_superglue_with_faults(benchmark, ws_requests):
+    result = benchmark.pedantic(
+        lambda: run_webserver(
+            ft_mode="superglue", n_requests=ws_requests,
+            with_faults=True, seed=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _RPS["superglue_faults"] = result.throughput_rps
+    assert result.served == ws_requests
+    assert result.reboots >= 1
+    print(
+        f"\nFig7 sg+faults   {result.throughput_rps:>12,.0f} req/s "
+        f"({result.faults_injected} faults, {result.reboots} reboots)"
+    )
+    benchmark.extra_info["rps"] = result.throughput_rps
+    benchmark.extra_info["reboots"] = result.reboots
+
+
+def test_fig7_shape(benchmark):
+    """Verify the relative ordering and slowdown factors of Fig. 7."""
+
+    def compute():
+        base = _RPS["none"]
+        return {
+            "apache_over_base": _RPS["apache"] / base,
+            "c3_slowdown": 1 - _RPS["c3"] / base,
+            "superglue_slowdown": 1 - _RPS["superglue"] / base,
+            "faulted_slowdown": 1 - _RPS["superglue_faults"] / base,
+        }
+
+    shape = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print(
+        f"\nFig7 shape: apache/base={shape['apache_over_base']:.3f} "
+        f"(paper 1.086)  c3={shape['c3_slowdown']:.1%} (paper 10.5%)  "
+        f"superglue={shape['superglue_slowdown']:.1%} (paper 11.84%)  "
+        f"with faults={shape['faulted_slowdown']:.1%} (paper 13.6%)"
+    )
+    for key, value in shape.items():
+        benchmark.extra_info[key] = f"{value:.4f}"
+    assert shape["apache_over_base"] > 1.0
+    assert 0.05 < shape["c3_slowdown"] < 0.18
+    assert shape["c3_slowdown"] < shape["superglue_slowdown"] < 0.20
+    assert shape["faulted_slowdown"] >= shape["superglue_slowdown"] - 0.01

@@ -1,0 +1,46 @@
+"""Predictability: static recovery bounds vs measured recovery costs.
+
+C^3/SuperGlue recovery is *predictable* (Section I; [7] gives the hard
+real-time schedulability analysis).  This bench computes the compile-time
+worst-case per-descriptor recovery bound for every service and checks the
+measured costs stay under it.
+"""
+
+import pytest
+
+from repro.analysis import measure_recovery_overhead
+from repro.analysis.schedulability import (
+    descriptor_walk_bound,
+    worst_case_state,
+)
+from repro.idl_specs import SERVICES
+from repro.system import compile_all_interfaces
+
+
+@pytest.mark.parametrize("service", SERVICES)
+def test_schedulability_bound(benchmark, service):
+    compiled = compile_all_interfaces()[service]
+    rows = {}
+
+    def run():
+        state = worst_case_state(compiled.ir)
+        rows["bound"] = descriptor_walk_bound(compiled.ir, state)
+        rows["measured"] = measure_recovery_overhead(
+            service, "superglue", runs=20
+        )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = rows["bound"]
+    measured = rows["measured"]
+    print(
+        f"\nSched-bound {service:6s} walk={bound.walk} "
+        f"bound={bound.us:.2f} us  measured={measured['mean_us']:.2f} us"
+    )
+    benchmark.extra_info.update(
+        service=service,
+        bound_us=f"{bound.us:.3f}",
+        measured_us=f"{measured['mean_us']:.3f}",
+    )
+    if measured["samples"]:
+        assert measured["mean_us"] <= bound.us

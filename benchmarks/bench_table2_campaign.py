@@ -1,0 +1,63 @@
+"""Table II: the SWIFI fault-injection campaign.
+
+Per target service: inject N single-event upsets (paper: 500; default
+here 100 — set REPRO_CAMPAIGN_FAULTS=500 for the full run), classify each
+outcome, and report the Table II columns.
+
+Paper shape to match: activation ratio 93.8-98.4%; recovery success
+88.6-96.1%; "not recovered (segfault)" the dominant failure mode (Sched
+highest); propagation <=2 per 500; hangs/latent faults rare.
+"""
+
+import pytest
+
+from repro.idl_specs import SERVICES
+from repro.swifi.campaign import CampaignRunner, format_table2
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("service", SERVICES)
+def test_table2_campaign(benchmark, service, campaign_faults):
+    def run():
+        runner = CampaignRunner(
+            service, ft_mode="superglue", n_faults=campaign_faults, seed=1
+        )
+        return runner.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[service] = result
+    row = result.row()
+    print(
+        f"\nTable2 {service:6s} injected={row['injected']} "
+        f"recovered={row['recovered']} "
+        f"segf={row['not_recovered_segfault']} "
+        f"prop={row['not_recovered_propagated']} "
+        f"other={row['not_recovered_other']} "
+        f"undetected={row['undetected']} "
+        f"activation={row['activation_ratio']:.1%} "
+        f"success={row['recovery_success_rate']:.1%}"
+    )
+    benchmark.extra_info.update(
+        {k: (f"{v:.4f}" if isinstance(v, float) else v) for k, v in row.items()}
+    )
+    # Shape assertions (bands widened for the reduced default fault count).
+    assert row["activation_ratio"] >= 0.70
+    assert row["recovery_success_rate"] >= 0.75
+    assert row["not_recovered_propagated"] <= max(2, campaign_faults // 100)
+
+
+def test_table2_full_table(benchmark, campaign_faults):
+    """Render the whole table after the per-service campaigns ran."""
+
+    def render():
+        done = [_RESULTS[s] for s in SERVICES if s in _RESULTS]
+        return format_table2(done) if done else ""
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    if table:
+        print("\n" + table)
+        print(
+            "paper: activation 93.8-98.4%, success 88.6-96.1%, "
+            "segfaults dominant failure, propagation <=2/500"
+        )

@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Benchmarks print the paper-shaped tables/series as they run (captured by
+``pytest -s`` or the saved benchmark extra_info) and record the simulated
+metrics in ``benchmark.extra_info`` so results survive in the JSON output.
+
+Environment knobs:
+
+* ``REPRO_CAMPAIGN_FAULTS`` — faults per service for the Table II bench
+  (default 100; the paper uses 500).
+* ``REPRO_WS_REQUESTS`` — requests for the Fig. 7 bench (default 800; the
+  paper uses 50000).
+"""
+
+import os
+
+import pytest
+
+CAMPAIGN_FAULTS = int(os.environ.get("REPRO_CAMPAIGN_FAULTS", "100"))
+WS_REQUESTS = int(os.environ.get("REPRO_WS_REQUESTS", "800"))
+
+
+@pytest.fixture(scope="session")
+def campaign_faults():
+    return CAMPAIGN_FAULTS
+
+
+@pytest.fixture(scope="session")
+def ws_requests():
+    return WS_REQUESTS

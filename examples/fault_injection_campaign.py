@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Mini Table II: a SWIFI campaign over all six system services.
+
+Runs a reduced fault-injection campaign (default 100 faults per service;
+the paper uses 500 — pass a count argument for the full run) and prints
+the Table II columns: recovered, not-recovered (segfault / propagated /
+other), undetected, activation ratio, and recovery success rate.
+
+Run:  python examples/fault_injection_campaign.py [n_faults]
+"""
+
+import sys
+
+from repro.swifi.campaign import format_table2, run_full_campaign
+
+
+def main() -> None:
+    n_faults = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    print(f"SWIFI campaign: {n_faults} faults per service "
+          f"(SuperGlue stubs, on-demand recovery)\n")
+    results = run_full_campaign(n_faults=n_faults, ft_mode="superglue", seed=1)
+    print(format_table2(results))
+    print(
+        "\nPaper (Table II, 500 faults/service): activation 93.8-98.4%, "
+        "recovery success 88.6-96.1%,\nsegfault crashes highest for Sched, "
+        "propagation <=2 per 500."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: lets `pip install -e . --no-build-isolation` work offline
+(no `wheel` package available), falling back to setuptools' legacy
+editable-install path.  Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""SuperGlue (DSN 2016) reproduction.
+
+IDL-based, system-level fault tolerance for a component-based OS, built on
+a simulated COMPOSITE/C^3 substrate.  Start with
+:func:`repro.system.build_system`; see README.md for the tour and
+DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,153 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``table2 [--faults N] [--mode MODE]`` — the SWIFI campaign (Table II)
+* ``fig6`` — tracking overhead, recovery overhead, LOC tables (Fig. 6)
+* ``fig7 [--requests N]`` — web-server throughput (Fig. 7)
+* ``compile <service|path.idl>`` — show compiler output for one interface
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _cmd_table2(args) -> int:
+    from repro.swifi.campaign import format_table2, run_full_campaign
+
+    print(
+        f"SWIFI campaign: {args.faults} faults per service "
+        f"({args.mode} stubs)"
+    )
+    results = run_full_campaign(
+        n_faults=args.faults, ft_mode=args.mode, seed=args.seed
+    )
+    print(format_table2(results))
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.analysis import (
+        measure_recovery_overhead,
+        measure_tracking_overhead,
+    )
+    from repro.analysis.loc import format_loc_table, loc_table
+    from repro.idl_specs import SERVICES
+
+    print("Fig 6(a): tracking overhead (us/op)")
+    for service in SERVICES:
+        sg = measure_tracking_overhead(service, "superglue")
+        c3 = measure_tracking_overhead(service, "c3")
+        print(
+            f"  {service:7s} superglue={sg['per_op_us']:.3f} "
+            f"c3={c3['per_op_us']:.3f}"
+        )
+    print("\nFig 6(b): per-descriptor recovery overhead (us)")
+    for service in SERVICES:
+        sg = measure_recovery_overhead(service, "superglue", runs=args.runs)
+        print(
+            f"  {service:7s} mean={sg['mean_us']:.2f} "
+            f"stdev={sg['stdev_us']:.2f} (n={sg['samples']})"
+        )
+    print("\nFig 6(c): lines of code")
+    print(format_loc_table(loc_table()))
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from repro.webserver.apache_model import ApacheModel
+    from repro.webserver.loadgen import run_webserver
+
+    print(f"Web-server benchmark: {args.requests} requests")
+    apache = ApacheModel().throughput_rps(args.requests)
+    print(f"  apache (model)         {apache:>12,.0f} req/s")
+    base = None
+    for mode in ("none", "c3", "superglue"):
+        result = run_webserver(ft_mode=mode, n_requests=args.requests)
+        if mode == "none":
+            base = result.throughput_rps
+        slowdown = (
+            f"  ({100 * (1 - result.throughput_rps / base):.2f}% slowdown)"
+            if mode != "none"
+            else ""
+        )
+        print(
+            f"  composite {mode:10s} {result.throughput_rps:>12,.0f} "
+            f"req/s{slowdown}"
+        )
+    faulted = run_webserver(
+        ft_mode="superglue", n_requests=args.requests,
+        with_faults=True, seed=args.seed,
+    )
+    print(
+        f"  superglue + faults     {faulted.throughput_rps:>12,.0f} req/s"
+        f"  ({100 * (1 - faulted.throughput_rps / base):.2f}% slowdown; "
+        f"{faulted.faults_injected} faults, {faulted.reboots} reboots)"
+    )
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro.core.compiler import SuperGlueCompiler
+    from repro.idl_specs import SERVICES, load_idl
+
+    if args.interface in SERVICES:
+        source = load_idl(args.interface)
+        name = args.interface
+    elif os.path.exists(args.interface):
+        with open(args.interface, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        name = ""
+    else:
+        print(f"unknown interface {args.interface!r}", file=sys.stderr)
+        return 1
+    compiled = SuperGlueCompiler().compile_source(source, name=name)
+    ir = compiled.ir
+    print(f"interface     : {ir.name}")
+    print(f"IDL LOC       : {compiled.idl_loc}")
+    print(f"generated LOC : {compiled.generated_loc}")
+    print(f"mechanisms    : {', '.join(ir.mechanisms())}")
+    print(f"functions     : {', '.join(ir.functions)}")
+    print(f"tracked meta  : {', '.join(ir.meta_names())}")
+    if args.show_source:
+        print("\n" + compiled.client_source)
+        print("\n" + compiled.server_source)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SuperGlue (DSN 2016) reproduction driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table2", help="SWIFI fault-injection campaign")
+    p.add_argument("--faults", type=int, default=100)
+    p.add_argument("--mode", choices=("superglue", "c3"), default="superglue")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser("fig6", help="overhead + LOC tables")
+    p.add_argument("--runs", type=int, default=20)
+    p.set_defaults(fn=_cmd_fig6)
+
+    p = sub.add_parser("fig7", help="web-server throughput")
+    p.add_argument("--requests", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(fn=_cmd_fig7)
+
+    p = sub.add_parser("compile", help="compile one IDL interface")
+    p.add_argument("interface", help="service name or path to an .idl file")
+    p.add_argument("--show-source", action="store_true")
+    p.set_defaults(fn=_cmd_compile)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

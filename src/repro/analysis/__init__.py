@@ -1,0 +1,15 @@
+"""Measurement helpers behind the Fig. 6 micro-benchmarks."""
+
+from repro.analysis.loc import c3_stub_loc, loc_of_source, loc_table
+from repro.analysis.overhead import (
+    measure_recovery_overhead,
+    measure_tracking_overhead,
+)
+
+__all__ = [
+    "c3_stub_loc",
+    "loc_of_source",
+    "loc_table",
+    "measure_recovery_overhead",
+    "measure_tracking_overhead",
+]

@@ -1,0 +1,85 @@
+"""Lines-of-code accounting for Fig. 6(c).
+
+Compares, per service:
+
+* the SuperGlue IDL specification the developer writes;
+* the recovery stub code the compiler generates from it; and
+* the hand-written C^3 stub module the IDL replaces.
+
+Counting convention (applied uniformly): non-blank lines that are not
+pure comments.  Docstrings in the hand-written stubs are counted as code
+the developer wrote and maintains, mirroring how the paper counts the
+hand-written C stubs' boilerplate.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import repro.c3.stubs as c3_stubs_pkg
+from repro.idl_specs import SERVICES
+
+_C3_STUB_FILES = {
+    "sched": "sched_stub.py",
+    "mm": "mm_stub.py",
+    "ramfs": "ramfs_stub.py",
+    "lock": "lock_stub.py",
+    "event": "event_stub.py",
+    "timer": "timer_stub.py",
+}
+
+
+def loc_of_source(source: str, comment_prefixes=("#", "//")) -> int:
+    """Count non-blank, non-comment lines."""
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if any(stripped.startswith(prefix) for prefix in comment_prefixes):
+            continue
+        count += 1
+    return count
+
+
+def c3_stub_loc(service: str) -> int:
+    """LOC of the hand-written C^3 stub module for ``service``."""
+    directory = os.path.dirname(os.path.abspath(c3_stubs_pkg.__file__))
+    path = os.path.join(directory, _C3_STUB_FILES[service])
+    with open(path, "r", encoding="utf-8") as handle:
+        return loc_of_source(handle.read())
+
+
+def loc_table() -> Dict[str, Dict[str, int]]:
+    """The Fig. 6(c) table: per service, IDL vs generated vs C^3 LOC."""
+    from repro.system import compile_all_interfaces
+
+    compiled = compile_all_interfaces()
+    table: Dict[str, Dict[str, int]] = {}
+    for service in SERVICES:
+        interface = compiled[service]
+        table[service] = {
+            "idl_loc": interface.idl_loc,
+            "generated_loc": interface.generated_loc,
+            "c3_loc": c3_stub_loc(service),
+        }
+    return table
+
+
+def format_loc_table(table: Dict[str, Dict[str, int]]) -> str:
+    header = f"{'Service':<10}{'IDL LOC':>10}{'Generated':>12}{'C^3 manual':>12}"
+    lines = [header, "-" * len(header)]
+    for service, row in table.items():
+        lines.append(
+            f"{service:<10}{row['idl_loc']:>10}{row['generated_loc']:>12}"
+            f"{row['c3_loc']:>12}"
+        )
+    idl_avg = sum(r["idl_loc"] for r in table.values()) / len(table)
+    c3_avg = sum(r["c3_loc"] for r in table.values()) / len(table)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'average':<10}{idl_avg:>10.1f}{'':>12}{c3_avg:>12.1f}"
+        f"   (paper: avg IDL 37 LOC, C^3 stubs up to 398+ LOC)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Overhead measurements behind Fig. 6(a) and Fig. 6(b).
+
+* **Tracking (infrastructure) overhead** — run each service's workload
+  with no stubs ("none") and with C^3 or SuperGlue stubs, and report the
+  added virtual time per tracked operation, in microseconds.
+* **Per-descriptor recovery overhead** — force micro-reboots and report
+  the mean/stdev cost of bringing one descriptor back to its expected
+  state (the R0 walk plus any dependency/storage/upcall work), also in
+  microseconds.  The paper notes this correlates with how many recovery
+  mechanisms a service engages (Event > Lock, for example).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List
+
+from repro.composite.scheduler import cycles_to_us
+from repro.swifi.injector import SwifiController
+from repro.system import build_system
+from repro.workloads import workload_for
+
+
+def _run_workload(ft_mode: str, service: str, iterations: int):
+    system = build_system(ft_mode=ft_mode)
+    workload = workload_for(service)
+    handle = workload.install(system, iterations=iterations)
+    system.run(max_steps=200_000)
+    if not handle.check():
+        raise RuntimeError(
+            f"{service} workload failed under {ft_mode}: {handle.results}"
+        )
+    return system
+
+
+def measure_tracking_overhead(
+    service: str, ft_mode: str = "superglue", iterations: int = 6
+) -> Dict[str, float]:
+    """Fig. 6(a): per-operation descriptor-tracking cost in microseconds."""
+    base = _run_workload("none", service, iterations)
+    tracked = _run_workload(ft_mode, service, iterations)
+    tracked_ops = sum(
+        stub.stats["tracked_ops"]
+        for (client, server), stub in tracked.client_stubs.items()
+        if server == service
+    )
+    base_cycles = base.kernel.clock.now
+    tracked_cycles = tracked.kernel.clock.now
+    added = max(tracked_cycles - base_cycles, 0)
+    per_op = added / tracked_ops if tracked_ops else 0.0
+    return {
+        "service": service,
+        "ft_mode": ft_mode,
+        "base_us": cycles_to_us(base_cycles),
+        "tracked_us": cycles_to_us(tracked_cycles),
+        "added_us": cycles_to_us(added),
+        "tracked_ops": tracked_ops,
+        "per_op_us": cycles_to_us(per_op),
+    }
+
+
+def measure_recovery_overhead(
+    service: str,
+    ft_mode: str = "superglue",
+    runs: int = 30,
+    iterations: int = 4,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Fig. 6(b): per-descriptor recovery cost in microseconds.
+
+    Injects one fault per run (like a mini campaign) and aggregates the
+    recovery-cost samples the stubs report to the recovery manager.
+    """
+    samples: List[float] = []
+    workload = workload_for(service)
+    for index in range(runs):
+        system = build_system(ft_mode=ft_mode)
+        swifi = SwifiController(system.kernel, seed=seed * 1000 + index)
+        handle = workload.install(system, iterations=iterations)
+        swifi.arm(service, after_executions=index % 8)
+        try:
+            system.run(max_steps=200_000)
+        except Exception:
+            continue
+        manager = system.recovery_manager
+        if manager is None:
+            continue
+        for cycles in manager.recovery_samples.get(service, []):
+            samples.append(cycles_to_us(cycles))
+    if not samples:
+        return {
+            "service": service,
+            "ft_mode": ft_mode,
+            "samples": 0,
+            "mean_us": 0.0,
+            "stdev_us": 0.0,
+        }
+    return {
+        "service": service,
+        "ft_mode": ft_mode,
+        "samples": len(samples),
+        "mean_us": statistics.fmean(samples),
+        "stdev_us": statistics.pstdev(samples),
+    }

@@ -1,0 +1,1 @@
+"""Hand-written C^3 interface stubs, one module per system service."""

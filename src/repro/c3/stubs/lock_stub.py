@@ -1,0 +1,147 @@
+"""Hand-written C^3 stub for the lock component.
+
+Tracks, per lock descriptor: the current server id, whether the lock is
+available or taken, and the owning thread.  Recovery re-allocates the lock
+and, if it was taken, re-takes it on behalf of the tracked owner.
+"""
+
+from __future__ import annotations
+
+from repro.c3.base import C3ClientStubBase
+from repro.composite.kernel import FAULT
+from repro.errors import BlockThread, InvalidDescriptor
+
+
+class LockC3ClientStub(C3ClientStubBase):
+    SERVICE = "lock"
+
+    # ------------------------------------------------------------------
+    def c3_lock_alloc(self, kernel, thread, compid):
+        while True:
+            ret = kernel.raw_invoke(thread, self.server, "lock_alloc", (compid,))
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            entry = {
+                "sid": ret,
+                "state": "available",
+                "owner": thread.tid,
+                "epoch": self.epoch(kernel),
+            }
+            self.descs[ret] = entry
+            self.track(kernel, thread, entry, stores=3)
+            return ret
+
+    # ------------------------------------------------------------------
+    def c3_lock_take(self, kernel, thread, compid, lock_id):
+        entry = self.descs.get(lock_id)
+        retries = 0
+        while True:
+            if entry is not None:
+                self._recover(kernel, thread, lock_id)
+            sid = entry["sid"] if entry is not None else lock_id
+            try:
+                ret = kernel.raw_invoke(
+                    thread, self.server, "lock_take", (compid, sid)
+                )
+            except BlockThread:
+                raise
+            except InvalidDescriptor:
+                if entry is None or retries >= 3:
+                    raise
+                retries += 1
+                entry["epoch"] = -1
+                continue
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            if isinstance(ret, int) and ret >= 0 and entry is not None:
+                entry["state"] = "taken"
+                entry["owner"] = thread.tid
+                self.track(kernel, thread, entry)
+            return ret
+
+    def post_unblock(self, kernel, thread, fn, args, value):
+        if fn == "lock_take":
+            entry = self.descs.get(args[1])
+            if entry is not None:
+                entry["state"] = "taken"
+                entry["owner"] = thread.tid
+                self.track(kernel, thread, entry)
+        return value
+
+    # ------------------------------------------------------------------
+    def c3_lock_release(self, kernel, thread, compid, lock_id):
+        entry = self.descs.get(lock_id)
+        retries = 0
+        while True:
+            if entry is not None:
+                self._recover(kernel, thread, lock_id)
+            sid = entry["sid"] if entry is not None else lock_id
+            try:
+                ret = kernel.raw_invoke(
+                    thread, self.server, "lock_release", (compid, sid)
+                )
+            except InvalidDescriptor:
+                if entry is None or retries >= 3:
+                    raise
+                retries += 1
+                entry["epoch"] = -1
+                continue
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            if isinstance(ret, int) and ret >= 0 and entry is not None:
+                entry["state"] = "available"
+                self.track(kernel, thread, entry)
+            return ret
+
+    # ------------------------------------------------------------------
+    def c3_lock_free(self, kernel, thread, compid, lock_id):
+        entry = self.descs.get(lock_id)
+        retries = 0
+        while True:
+            if entry is not None:
+                self._recover(kernel, thread, lock_id)
+            sid = entry["sid"] if entry is not None else lock_id
+            try:
+                ret = kernel.raw_invoke(
+                    thread, self.server, "lock_free", (compid, sid)
+                )
+            except InvalidDescriptor:
+                if entry is None or retries >= 3:
+                    raise
+                retries += 1
+                entry["epoch"] = -1
+                continue
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            self.descs.pop(lock_id, None)
+            self.track(kernel, thread, None)
+            return ret
+
+    # ------------------------------------------------------------------
+    def _recover(self, kernel, thread, cdesc) -> bool:
+        entry = self.descs.get(cdesc)
+        if entry is None:
+            return False
+        current = self.epoch(kernel)
+        if entry["epoch"] == current:
+            return False
+        entry["epoch"] = current
+        start = kernel.clock.now
+        # Walk: re-allocate, then re-take if the lock was held.
+        new_sid = self.replay(kernel, thread, "lock_alloc", (self.client,))
+        entry["sid"] = new_sid
+        if entry["state"] == "taken":
+            owner = self.impersonate(thread, entry["owner"])
+            self.replay(
+                kernel, owner, "lock_take", (self.client, new_sid)
+            )
+        self.record_recovery(kernel, start)
+        return True

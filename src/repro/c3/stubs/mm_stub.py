@@ -1,0 +1,171 @@
+"""Hand-written C^3 stub for the memory manager component.
+
+Mapping descriptors are (component, vaddr) pairs; the client-visible key
+is the virtual address each call returned.  The stub maintains the
+parent/child alias tree so recovery can run root-first (D1) and so that
+recursive revocation drops the tracked subtree (D0) — the ordering rules
+Section II-D derives for MM recovery.
+"""
+
+from __future__ import annotations
+
+from repro.c3.base import C3ClientStubBase
+from repro.composite.kernel import FAULT
+from repro.errors import InvalidDescriptor
+
+
+class MMC3ClientStub(C3ClientStubBase):
+    SERVICE = "mm"
+
+    # ------------------------------------------------------------------
+    def c3_mman_get_page(self, kernel, thread, compid, vaddr):
+        while True:
+            ret = kernel.raw_invoke(
+                thread, self.server, "mman_get_page", (compid, vaddr)
+            )
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            if isinstance(ret, int) and ret < 0:
+                return ret
+            entry = {
+                "sid": ret,
+                "kind": "root",
+                "vaddr": vaddr,
+                "parent": None,
+                "dst_spdid": None,
+                "dst_vaddr": None,
+                "children": set(),
+                "owner": thread.tid,
+                "epoch": self.epoch(kernel),
+            }
+            self.descs[ret] = entry
+            self.track(kernel, thread, entry, stores=3)
+            return ret
+
+    # ------------------------------------------------------------------
+    def c3_mman_alias_page(self, kernel, thread, compid, vaddr, dst_spdid,
+                           dst_vaddr):
+        parent = self.descs.get(vaddr)
+        retries = 0
+        while True:
+            if parent is not None:
+                # D1: the aliased-from parent must be consistent first.
+                self._recover(kernel, thread, vaddr)
+            parent_sid = parent["sid"] if parent is not None else vaddr
+            try:
+                ret = kernel.raw_invoke(
+                    thread, self.server, "mman_alias_page",
+                    (compid, parent_sid, dst_spdid, dst_vaddr),
+                )
+            except InvalidDescriptor:
+                if parent is None or retries >= 3:
+                    raise
+                retries += 1
+                parent["epoch"] = -1
+                continue
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            if isinstance(ret, int) and ret < 0:
+                return ret
+            entry = {
+                "sid": ret,
+                "kind": "alias",
+                "vaddr": vaddr,
+                "parent": vaddr,
+                "dst_spdid": dst_spdid,
+                "dst_vaddr": dst_vaddr,
+                "children": set(),
+                "owner": thread.tid,
+                "epoch": self.epoch(kernel),
+            }
+            self.descs[ret] = entry
+            if parent is not None:
+                parent["children"].add(ret)
+            self.track(kernel, thread, entry, stores=3)
+            return ret
+
+    # ------------------------------------------------------------------
+    def c3_mman_release_page(self, kernel, thread, compid, vaddr):
+        entry = self.descs.get(vaddr)
+        retries = 0
+        while True:
+            if entry is not None:
+                # D0: the whole tracked subtree must be consistent so the
+                # recursive revocation acts on real mappings.
+                for key in self._subtree(vaddr):
+                    self._recover(kernel, thread, key)
+            sid = entry["sid"] if entry is not None else vaddr
+            try:
+                ret = kernel.raw_invoke(
+                    thread, self.server, "mman_release_page", (compid, sid)
+                )
+            except InvalidDescriptor:
+                if entry is None or retries >= 3:
+                    raise
+                retries += 1
+                entry["epoch"] = -1
+                continue
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            if entry is not None:
+                for key in self._subtree(vaddr):
+                    child = self.descs.pop(key, None)
+                    if child is not None and child["parent"] in self.descs:
+                        self.descs[child["parent"]]["children"].discard(key)
+            self.track(kernel, thread, None)
+            return ret
+
+    # ------------------------------------------------------------------
+    def _subtree(self, cdesc):
+        """The descriptor plus all tracked descendants."""
+        out = []
+        stack = [cdesc]
+        seen = set()
+        while stack:
+            key = stack.pop()
+            if key in seen or key not in self.descs:
+                continue
+            seen.add(key)
+            out.append(key)
+            stack.extend(self.descs[key]["children"])
+        return out
+
+    def _recover(self, kernel, thread, cdesc) -> bool:
+        entry = self.descs.get(cdesc)
+        if entry is None:
+            return False
+        current = self.epoch(kernel)
+        if entry["epoch"] == current:
+            return False
+        entry["epoch"] = current
+        start = kernel.clock.now
+        owner = self.impersonate(thread, entry["owner"])
+        if entry["kind"] == "root":
+            entry["sid"] = self.replay(
+                kernel, owner, "mman_get_page", (self.client, entry["vaddr"])
+            )
+        else:
+            # Parent first, then re-alias from it (D1, root-to-leaf).
+            parent = self.descs.get(entry["parent"])
+            if parent is not None:
+                self._recover(kernel, thread, entry["parent"])
+            parent_sid = (
+                parent["sid"] if parent is not None else entry["parent"]
+            )
+            entry["sid"] = self.replay(
+                kernel, owner, "mman_alias_page",
+                (
+                    self.client,
+                    parent_sid,
+                    entry["dst_spdid"],
+                    entry["dst_vaddr"],
+                ),
+            )
+        self.record_recovery(kernel, start)
+        return True

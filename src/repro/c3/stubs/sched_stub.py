@@ -1,0 +1,138 @@
+"""Hand-written C^3 stub for the scheduler component.
+
+Thread descriptors are kernel tids (stable across recovery), so the walk
+is a re-registration on behalf of the descriptor's thread; block state is
+re-established by the redo of the parked ``sched_blk`` invocation after
+the eager fault wakeup.
+"""
+
+from __future__ import annotations
+
+from repro.c3.base import C3ClientStubBase
+from repro.composite.kernel import FAULT
+from repro.errors import BlockThread, InvalidDescriptor
+
+
+class SchedC3ClientStub(C3ClientStubBase):
+    SERVICE = "sched"
+
+    # ------------------------------------------------------------------
+    def c3_sched_register(self, kernel, thread, compid):
+        while True:
+            ret = kernel.raw_invoke(
+                thread, self.server, "sched_register", (compid,)
+            )
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            entry = {
+                "sid": ret,
+                "tid": thread.tid,
+                "epoch": self.epoch(kernel),
+            }
+            self.descs[ret] = entry
+            self.track(kernel, thread, entry, stores=3)
+            return ret
+
+    # ------------------------------------------------------------------
+    def c3_sched_blk(self, kernel, thread, compid, tid):
+        entry = self.descs.get(tid)
+        retries = 0
+        while True:
+            if entry is not None:
+                self._recover(kernel, thread, tid)
+            sid = entry["sid"] if entry is not None else tid
+            try:
+                ret = kernel.raw_invoke(
+                    thread, self.server, "sched_blk", (compid, sid)
+                )
+            except BlockThread:
+                raise
+            except InvalidDescriptor:
+                if entry is None or retries >= 3:
+                    raise
+                retries += 1
+                entry["epoch"] = -1
+                continue
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            if entry is not None:
+                self.track(kernel, thread, entry)
+            return ret
+
+    def post_unblock(self, kernel, thread, fn, args, value):
+        if fn == "sched_blk":
+            entry = self.descs.get(args[1])
+            if entry is not None:
+                self.track(kernel, thread, entry)
+        return value
+
+    # ------------------------------------------------------------------
+    def c3_sched_wakeup(self, kernel, thread, compid, tid):
+        entry = self.descs.get(tid)
+        retries = 0
+        while True:
+            if entry is not None:
+                self._recover(kernel, thread, tid)
+            sid = entry["sid"] if entry is not None else tid
+            try:
+                ret = kernel.raw_invoke(
+                    thread, self.server, "sched_wakeup", (compid, sid)
+                )
+            except InvalidDescriptor:
+                if entry is None or retries >= 3:
+                    raise
+                retries += 1
+                entry["epoch"] = -1
+                continue
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            if entry is not None:
+                self.track(kernel, thread, entry)
+            return ret
+
+    # ------------------------------------------------------------------
+    def c3_sched_exit(self, kernel, thread, compid, tid):
+        entry = self.descs.get(tid)
+        while True:
+            if entry is not None:
+                self._recover(kernel, thread, tid)
+            sid = entry["sid"] if entry is not None else tid
+            try:
+                ret = kernel.raw_invoke(
+                    thread, self.server, "sched_exit", (compid, sid)
+                )
+            except InvalidDescriptor:
+                raise
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            self.descs.pop(tid, None)
+            self.track(kernel, thread, None)
+            return ret
+
+    # ------------------------------------------------------------------
+    def _recover(self, kernel, thread, cdesc) -> bool:
+        entry = self.descs.get(cdesc)
+        if entry is None:
+            return False
+        current = self.epoch(kernel)
+        if entry["epoch"] == current:
+            return False
+        entry["epoch"] = current
+        start = kernel.clock.now
+        # Walk: re-register on behalf of the descriptor's own thread (the
+        # scheduler also reflects on the kernel at reboot; the re-register
+        # is idempotent and restores the interface-visible descriptor).
+        principal = self.impersonate(thread, entry["tid"])
+        entry["sid"] = self.replay(
+            kernel, principal, "sched_register", (self.client,)
+        )
+        self.record_recovery(kernel, start)
+        return True

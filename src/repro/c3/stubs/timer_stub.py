@@ -1,0 +1,142 @@
+"""Hand-written C^3 stub for the timer manager component.
+
+Tracks the period of each timer descriptor so recovery re-allocates it
+with the original cadence; a thread blocked on a faulted timer redoes its
+``timer_block`` after the eager wakeup.
+"""
+
+from __future__ import annotations
+
+from repro.c3.base import C3ClientStubBase
+from repro.composite.kernel import FAULT
+from repro.errors import BlockThread, InvalidDescriptor
+
+
+class TimerC3ClientStub(C3ClientStubBase):
+    SERVICE = "timer"
+
+    # ------------------------------------------------------------------
+    def c3_timer_alloc(self, kernel, thread, compid, period):
+        while True:
+            ret = kernel.raw_invoke(
+                thread, self.server, "timer_alloc", (compid, period)
+            )
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            if isinstance(ret, int) and ret < 0:
+                return ret
+            entry = {
+                "sid": ret,
+                "period": period,
+                "owner": thread.tid,
+                "epoch": self.epoch(kernel),
+            }
+            self.descs[ret] = entry
+            self.track(kernel, thread, entry, stores=3)
+            return ret
+
+    # ------------------------------------------------------------------
+    def c3_timer_block(self, kernel, thread, compid, tmid):
+        entry = self.descs.get(tmid)
+        retries = 0
+        while True:
+            if entry is not None:
+                self._recover(kernel, thread, tmid)
+            sid = entry["sid"] if entry is not None else tmid
+            try:
+                ret = kernel.raw_invoke(
+                    thread, self.server, "timer_block", (compid, sid)
+                )
+            except BlockThread:
+                raise
+            except InvalidDescriptor:
+                if entry is None or retries >= 3:
+                    raise
+                retries += 1
+                entry["epoch"] = -1
+                continue
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            if entry is not None:
+                self.track(kernel, thread, entry)
+            return ret
+
+    def post_unblock(self, kernel, thread, fn, args, value):
+        if fn == "timer_block":
+            entry = self.descs.get(args[1])
+            if entry is not None:
+                self.track(kernel, thread, entry)
+        return value
+
+    # ------------------------------------------------------------------
+    def c3_timer_expire(self, kernel, thread, compid, tmid):
+        entry = self.descs.get(tmid)
+        retries = 0
+        while True:
+            if entry is not None:
+                self._recover(kernel, thread, tmid)
+            sid = entry["sid"] if entry is not None else tmid
+            try:
+                ret = kernel.raw_invoke(
+                    thread, self.server, "timer_expire", (compid, sid)
+                )
+            except InvalidDescriptor:
+                if entry is None or retries >= 3:
+                    raise
+                retries += 1
+                entry["epoch"] = -1
+                continue
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            if entry is not None:
+                self.track(kernel, thread, entry)
+            return ret
+
+    # ------------------------------------------------------------------
+    def c3_timer_free(self, kernel, thread, compid, tmid):
+        entry = self.descs.get(tmid)
+        retries = 0
+        while True:
+            if entry is not None:
+                self._recover(kernel, thread, tmid)
+            sid = entry["sid"] if entry is not None else tmid
+            try:
+                ret = kernel.raw_invoke(
+                    thread, self.server, "timer_free", (compid, sid)
+                )
+            except InvalidDescriptor:
+                if entry is None or retries >= 3:
+                    raise
+                retries += 1
+                entry["epoch"] = -1
+                continue
+            if ret is FAULT:
+                self.fault_update(kernel, thread)
+                self.stats["redos"] += 1
+                continue
+            self.descs.pop(tmid, None)
+            self.track(kernel, thread, None)
+            return ret
+
+    # ------------------------------------------------------------------
+    def _recover(self, kernel, thread, cdesc) -> bool:
+        entry = self.descs.get(cdesc)
+        if entry is None:
+            return False
+        current = self.epoch(kernel)
+        if entry["epoch"] == current:
+            return False
+        entry["epoch"] = current
+        start = kernel.clock.now
+        owner = self.impersonate(thread, entry["owner"])
+        entry["sid"] = self.replay(
+            kernel, owner, "timer_alloc", (self.client, entry["period"])
+        )
+        self.record_recovery(kernel, start)
+        return True

@@ -1,0 +1,24 @@
+"""Simulated COMPOSITE component-based OS substrate."""
+
+from repro.composite.app import AppComponent
+from repro.composite.booter import Booter
+from repro.composite.cbuf import CbufManager
+from repro.composite.component import Component, export
+from repro.composite.kernel import FAULT, Kernel
+from repro.composite.memory import MemoryImage
+from repro.composite.thread import Invoke, SimThread, ThreadState, Yield
+
+__all__ = [
+    "AppComponent",
+    "Booter",
+    "CbufManager",
+    "Component",
+    "export",
+    "FAULT",
+    "Kernel",
+    "MemoryImage",
+    "Invoke",
+    "SimThread",
+    "ThreadState",
+    "Yield",
+]

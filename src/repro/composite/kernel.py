@@ -1,0 +1,415 @@
+"""The simulated COMPOSITE kernel.
+
+Responsibilities, mirroring the real kernel of Section II-B:
+
+* capability-mediated, synchronous component invocation (thread migration);
+* the thread run loop (driven by :class:`~repro.composite.scheduler.RunQueue`
+  and :class:`~repro.composite.scheduler.VirtualClock`);
+* blocking/wakeup of threads inside server components;
+* vectoring detected faults to the booter component, which micro-reboots
+  the faulty component (Section III-D steps 2-4);
+* upcalls into client components (used by MM recovery and U0); and
+* reflection: letting a recovering service query kernel-held thread state.
+
+Client-side interface stubs (hand-written C^3 or SuperGlue-generated) are
+registered per (client, server) pair and interpose on every invocation —
+exactly where the paper's stub code sits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.composite.scheduler import RunQueue, VirtualClock
+from repro.composite.thread import Invoke, SimThread, ThreadState, Yield
+from repro.errors import (
+    BlockThread,
+    CapabilityError,
+    ConfigurationError,
+    ReproError,
+    SimulatedFault,
+    SystemHang,
+)
+
+#: Sentinel returned by :meth:`Kernel.raw_invoke` when the server faulted
+#: during the invocation and was micro-rebooted.  The client stub's redo
+#: loop (Fig. 4) checks for it.
+FAULT = type("_Fault", (), {"__repr__": lambda self: "<FAULT>"})()
+
+#: Cycle cost of one component invocation (capability lookup + page-table
+#: switch).  The paper reports kernel paths of ~0.5us at 2.4 GHz as the
+#: *longest*; a typical invocation is a fraction of that.
+INVOCATION_CYCLES = 600
+
+#: Cycle cost of an upcall (same mechanism, executed from the kernel).
+UPCALL_CYCLES = 700
+
+
+class Kernel:
+    """The simulated kernel plus the simulation loop."""
+
+    def __init__(self, ft_mode: str = "none"):
+        """``ft_mode`` is one of ``"none"``, ``"c3"``, ``"superglue"``.
+
+        With ``"none"`` a detected component fault crashes the whole system
+        (no recovery infrastructure), which is the unprotected baseline.
+        """
+        if ft_mode not in ("none", "c3", "superglue"):
+            raise ConfigurationError(f"unknown ft_mode {ft_mode!r}")
+        self.ft_mode = ft_mode
+        self.clock = VirtualClock()
+        self.run_queue = RunQueue()
+        self.components: Dict[str, object] = {}
+        self.threads: Dict[int, SimThread] = {}
+        self._caps: Dict[Tuple[str, str], bool] = {}
+        self._stubs: Dict[Tuple[str, str], object] = {}
+        self._server_stubs: Dict[str, object] = {}
+        self.booter = None
+        self.recovery_manager = None
+        self.swifi = None
+        self.crashed: Optional[SimulatedFault] = None
+        self.current: Optional[SimThread] = None
+        self._next_tid = 1
+        self._next_image_base = 0x0100_0000
+        self.stats = {
+            "invocations": 0,
+            "upcalls": 0,
+            "faults_vectored": 0,
+            "micro_reboots": 0,
+            "steps": 0,
+        }
+        #: Hooks observing every fault vectoring: f(component, fault).
+        self.fault_observers: List[Callable] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_component(self, component) -> None:
+        if component.name in self.components:
+            raise ConfigurationError(f"duplicate component {component.name!r}")
+        self.components[component.name] = component
+        component.attach(self, self._next_image_base)
+        self._next_image_base += 0x0100_0000
+
+    def component(self, name: str):
+        try:
+            return self.components[name]
+        except KeyError:
+            raise ConfigurationError(f"no component named {name!r}") from None
+
+    def grant_cap(self, client: str, server: str) -> None:
+        self._caps[(client, server)] = True
+
+    def grant_all_caps(self) -> None:
+        """Convenience for tests: full connectivity."""
+        for client in self.components:
+            for server in self.components:
+                self._caps[(client, server)] = True
+
+    def register_stub(self, client: str, server: str, stub) -> None:
+        self._stubs[(client, server)] = stub
+
+    def stub_for(self, client: str, server: str):
+        return self._stubs.get((client, server))
+
+    def register_server_stub(self, server: str, stub) -> None:
+        self._server_stubs[server] = stub
+
+    def server_stub_for(self, server: str):
+        return self._server_stubs.get(server)
+
+    def all_stubs_for_server(self, server: str) -> List[object]:
+        return [s for (c, sv), s in self._stubs.items() if sv == server]
+
+    def create_thread(self, name: str, prio: int, home: str, body_factory) -> SimThread:
+        thread = SimThread(self._next_tid, name, prio, home, body_factory)
+        self._next_tid += 1
+        self.threads[thread.tid] = thread
+        self.run_queue.add(thread)
+        return thread
+
+    # ------------------------------------------------------------------
+    # Time accounting
+    # ------------------------------------------------------------------
+    def charge(self, thread: Optional[SimThread], cycles: int) -> None:
+        self.clock.advance(cycles)
+        if thread is not None:
+            thread.cycles += cycles
+
+    # ------------------------------------------------------------------
+    # Invocation path
+    # ------------------------------------------------------------------
+    def invoke(self, thread: SimThread, action: Invoke):
+        """Top-level component invocation, interposed by a client stub."""
+        client = thread.executing_in or thread.home
+        if not self._caps.get((client, action.server)):
+            raise CapabilityError(
+                f"{client} holds no capability for {action.server}"
+            )
+        stub = self._stubs.get((client, action.server))
+        thread._last_stub = stub
+        self.stats["invocations"] += 1
+        thread.invocations += 1
+        if stub is None:
+            result = self.raw_invoke(thread, action.server, action.fn, action.args)
+            if result is FAULT:
+                # No stub means no recovery protocol: surface as a crash.
+                raise SimulatedFault(
+                    f"unrecovered fault in {action.server}",
+                    component=action.server,
+                    recoverable=False,
+                )
+            return result
+        return stub.invoke(self, thread, action.fn, action.args)
+
+    def raw_invoke(self, thread: SimThread, server: str, fn: str, args):
+        """Capability-checked entry into the server's dispatch.
+
+        Returns the server's return value, or the :data:`FAULT` sentinel if
+        the server fail-stopped and was micro-rebooted (only in a fault-
+        tolerant mode).  :class:`~repro.errors.BlockThread` propagates to
+        the run loop, which parks the thread.
+        """
+        component = self.component(server)
+        self.charge(thread, INVOCATION_CYCLES)
+        prev = thread.executing_in
+        thread.executing_in = server
+        server_stub = self._server_stubs.get(server)
+        try:
+            if server_stub is not None:
+                return server_stub.dispatch(self, thread, fn, args)
+            return component.dispatch(fn, thread, args)
+        except BlockThread:
+            raise
+        except SimulatedFault as fault:
+            if not fault.recoverable:
+                raise
+            self.vector_fault(component, fault)
+            if self.ft_mode == "none":
+                raise SimulatedFault(
+                    f"fault in {server} with no recovery: system reboot "
+                    f"required ({fault})",
+                    component=server,
+                    recoverable=False,
+                )
+            return FAULT
+        finally:
+            thread.executing_in = prev
+
+    def upcall(self, thread: SimThread, component_name: str, fn: str, *args):
+        """Invoke a function in a (client) component from below.
+
+        Used for MM mapping recovery and for U0 descriptor recreation.
+        """
+        component = self.component(component_name)
+        self.charge(thread, UPCALL_CYCLES)
+        self.stats["upcalls"] += 1
+        prev = thread.executing_in
+        thread.executing_in = component_name
+        try:
+            return component.dispatch(fn, thread, args)
+        finally:
+            thread.executing_in = prev
+
+    # ------------------------------------------------------------------
+    # Fault vectoring and micro-reboot
+    # ------------------------------------------------------------------
+    def vector_fault(self, component, fault: SimulatedFault) -> None:
+        """Hardware exception handler: divert to the booter (step 2)."""
+        self.stats["faults_vectored"] += 1
+        component.faults_detected += 1
+        for observer in self.fault_observers:
+            observer(component, fault)
+        if self.ft_mode == "none":
+            return
+        if self.booter is None:
+            raise ConfigurationError("fault-tolerant mode without a booter")
+        self.booter.handle_fault(component, fault)
+
+    # ------------------------------------------------------------------
+    # Blocking and wakeup
+    # ------------------------------------------------------------------
+    def _park(self, thread: SimThread, block: BlockThread, action: Invoke):
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_in = block.component
+        thread.block_token = block.token
+        thread.block_invoke = action
+        thread.block_on_wake = block.on_wake
+        thread.block_stub = getattr(thread, "_last_stub", None)
+        if block.timeout is not None:
+            tid = thread.tid
+            expected_token = block.token
+
+            def _timeout_wake():
+                t = self.threads.get(tid)
+                if (
+                    t is not None
+                    and t.state is ThreadState.BLOCKED
+                    and t.block_token == expected_token
+                ):
+                    self._unpark(t, timeout=True)
+
+            self.clock.schedule(block.timeout, _timeout_wake)
+
+    def _unpark(self, thread: SimThread, value=None, timeout=False, redo=False):
+        thread.state = ThreadState.READY
+        thread.blocked_in = None
+        token = thread.block_token
+        thread.block_token = None
+        on_wake = thread.block_on_wake
+        thread.block_on_wake = None
+        stub = thread.block_stub
+        thread.block_stub = None
+        action = thread.block_invoke
+        if redo:
+            # Fault wakeup: the whole invocation must be re-issued through
+            # the stub so recovery and re-blocking happen (T0 then redo).
+            thread.pending = ("redo", action)
+            return
+        thread.block_invoke = None
+        if on_wake is not None:
+            value = on_wake(thread, token, timeout)
+        if stub is not None and action is not None:
+            # Defer the stub's completion tracking until the woken thread
+            # is scheduled: the stub code runs on the woken thread, *after*
+            # the waker's own invocation (and its tracking) completed —
+            # otherwise a handoff's state transitions would be recorded in
+            # inverted order.
+            thread.pending = ("unblock", stub, action, value)
+        else:
+            thread.pending = ("value", value)
+
+    def wake_token(self, component: str, token, value=None) -> int:
+        """Wake all threads blocked in ``component`` on ``token``."""
+        woken = 0
+        for thread in self.run_queue.threads:
+            if (
+                thread.state is ThreadState.BLOCKED
+                and thread.blocked_in == component
+                and thread.block_token == token
+            ):
+                self._unpark(thread, value=value)
+                woken += 1
+        return woken
+
+    def wake_all_in(self, component: str, redo: bool = True) -> int:
+        """Fault wakeup (T0): wake every thread blocked in ``component``."""
+        woken = 0
+        for thread in self.run_queue.threads:
+            if thread.state is ThreadState.BLOCKED and thread.blocked_in == component:
+                self._unpark(thread, redo=redo)
+                woken += 1
+        return woken
+
+    def blocked_threads_in(self, component: str) -> List[SimThread]:
+        return [
+            t
+            for t in self.run_queue.threads
+            if t.state is ThreadState.BLOCKED and t.blocked_in == component
+        ]
+
+    # ------------------------------------------------------------------
+    # Reflection (kernel introspection used by recovering services)
+    # ------------------------------------------------------------------
+    def reflect_threads(self) -> List[dict]:
+        """Expose kernel-held thread state (ids, priorities, block status).
+
+        The scheduler service uses this after a micro-reboot to rebuild its
+        thread bookkeeping, as in the C^3 scheduler recovery example.
+        """
+        return [
+            {
+                "tid": t.tid,
+                "name": t.name,
+                "prio": t.prio,
+                "state": t.state.value,
+                "blocked_in": t.blocked_in,
+            }
+            for t in self.run_queue.threads
+        ]
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def run(self, max_steps: int = 1_000_000, max_cycles: Optional[int] = None):
+        """Run until all threads finish, the system crashes, or a budget ends.
+
+        Returns the number of scheduling steps taken.
+        """
+        steps = 0
+        while steps < max_steps:
+            if self.crashed is not None:
+                break
+            if max_cycles is not None and self.clock.now >= max_cycles:
+                break
+            for callback in self.clock.pop_due():
+                callback()
+            thread = self.run_queue.pick()
+            if thread is None:
+                if self.run_queue.all_done():
+                    break
+                if not self.clock.skip_to_next_expiry():
+                    raise SystemHang(
+                        "all threads blocked with no pending timer (deadlock)",
+                        component="kernel",
+                    )
+                continue
+            self._step(thread)
+            steps += 1
+            self.stats["steps"] += 1
+        return steps
+
+    def _step(self, thread: SimThread) -> None:
+        self.current = thread
+        if thread.body is None:
+            thread.start(self)
+        pending = thread.pending
+        thread.pending = None
+
+        if pending is not None and pending[0] == "redo":
+            # Re-issue a blocking invocation after a fault wakeup.
+            self._perform(thread, pending[1])
+            return
+        if pending is not None and pending[0] == "unblock":
+            # Run the stub's post-wakeup tracking on the woken thread.
+            __, stub, action, value = pending
+            value = stub.post_unblock(self, thread, action.fn, action.args, value)
+            pending = ("value", value)
+
+        try:
+            if pending is None:
+                action = thread.body.send(None)
+            elif pending[0] == "value":
+                action = thread.body.send(pending[1])
+            elif pending[0] == "throw":
+                action = thread.body.throw(pending[1])
+            else:  # pragma: no cover - defensive
+                raise ReproError(f"bad pending {pending!r}")
+        except StopIteration:
+            thread.state = ThreadState.DONE
+            return
+        except SimulatedFault as fault:
+            thread.state = ThreadState.CRASHED
+            self.crashed = fault
+            return
+
+        if isinstance(action, Invoke):
+            self._perform(thread, action)
+        elif isinstance(action, Yield):
+            thread.pending = ("value", None)
+        else:
+            raise ReproError(f"thread {thread.name} yielded {action!r}")
+
+    def _perform(self, thread: SimThread, action: Invoke) -> None:
+        try:
+            result = self.invoke(thread, action)
+        except BlockThread as block:
+            self._park(thread, block, action)
+            return
+        except SimulatedFault as fault:
+            if fault.recoverable:  # pragma: no cover - defensive
+                raise
+            thread.state = ThreadState.CRASHED
+            self.crashed = fault
+            return
+        thread.pending = ("value", result)

@@ -1,0 +1,139 @@
+"""Per-component simulated memory images.
+
+Hardware page-table isolation in COMPOSITE gives each component a private
+address space; a component can only corrupt *its own* memory, which is what
+bounds fault propagation (Section II-B).  We model that with one
+:class:`MemoryImage` per component: a flat array of 32-bit words at a unique
+base address.  Any access outside the image is a simulated segmentation
+fault (raised by the trace interpreter, which bounds-checks through
+:meth:`MemoryImage.contains`).
+
+The image supports the booter's micro-reboot: after a component initialises,
+:meth:`MemoryImage.freeze_good_image` snapshots the words ("a good image");
+:meth:`MemoryImage.micro_reboot` memcpys it back (Section II-C step 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ReproError
+from repro.composite.machine import WORD_MASK
+
+#: Default image size in words.  Kept deliberately small so that a bit flip
+#: in an address register usually lands outside the image (segfault), while
+#: low-bit flips stay inside (silent corruption) — mirroring real address
+#: fault behaviour.
+DEFAULT_IMAGE_WORDS = 1 << 14
+
+#: Words reserved at the top of each image for the execution stack.
+STACK_WORDS = 1 << 10
+
+
+class MemoryImage:
+    """A component's private, bounds-checked flat memory.
+
+    Attributes:
+        base: lowest valid address.
+        size: number of words.
+        words: backing store.
+    """
+
+    def __init__(self, base: int, size: int = DEFAULT_IMAGE_WORDS):
+        if base & 0xFFF:
+            raise ReproError("image base must be page aligned")
+        self.base = base & WORD_MASK
+        self.size = size
+        self.words: List[int] = [0] * size
+        self._tainted: Set[int] = set()
+        self._alloc_ptr = 16  # first words reserved (component header)
+        self._good_words: Optional[List[int]] = None
+        self._good_alloc_ptr: Optional[int] = None
+        self._free_lists: Dict[int, List[int]] = {}
+
+    # -- address arithmetic -------------------------------------------------
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def _index(self, addr: int) -> int:
+        if not self.contains(addr):
+            raise ReproError(f"address {addr:#x} outside image")
+        return addr - self.base
+
+    @property
+    def stack_top(self) -> int:
+        """Initial ESP for a thread entering this component."""
+        return self.base + self.size  # pre-decrement push: first store is top-1
+
+    @property
+    def stack_base(self) -> int:
+        return self.base + self.size - STACK_WORDS
+
+    # -- raw access (used by the trace interpreter) -------------------------
+    def read_word(self, addr: int) -> int:
+        return self.words[addr - self.base]
+
+    def write_word(self, addr: int, value: int, tainted: bool = False) -> None:
+        index = addr - self.base
+        self.words[index] = value & WORD_MASK
+        if tainted:
+            self._tainted.add(addr)
+        else:
+            self._tainted.discard(addr)
+
+    def is_tainted(self, addr: int) -> bool:
+        return addr in self._tainted
+
+    # -- allocation ----------------------------------------------------------
+    def alloc(self, nwords: int) -> int:
+        """Bump/free-list allocate ``nwords`` words; returns the address."""
+        free = self._free_lists.get(nwords)
+        if free:
+            return free.pop()
+        if self._alloc_ptr + nwords > self.size - STACK_WORDS:
+            raise ReproError("component heap exhausted")
+        addr = self.base + self._alloc_ptr
+        self._alloc_ptr += nwords
+        return addr
+
+    def free(self, addr: int, nwords: int) -> None:
+        for off in range(nwords):
+            self.write_word(addr + off, 0)
+        self._free_lists.setdefault(nwords, []).append(addr)
+
+    def alloc_record(self, magic: int, nfields: int) -> int:
+        """Allocate a record: one magic word followed by ``nfields`` fields."""
+        addr = self.alloc(1 + nfields)
+        self.write_word(addr, magic)
+        return addr
+
+    # -- micro-reboot support -------------------------------------------------
+    def freeze_good_image(self) -> None:
+        """Snapshot the post-initialisation state as the reboot image."""
+        self._good_words = list(self.words)
+        self._good_alloc_ptr = self._alloc_ptr
+
+    def micro_reboot(self) -> None:
+        """memcpy the good image back over this component's memory."""
+        if self._good_words is None:
+            raise ReproError("no good image frozen; cannot micro-reboot")
+        self.words[:] = self._good_words
+        self._alloc_ptr = self._good_alloc_ptr
+        self._tainted.clear()
+        self._free_lists.clear()
+
+    @property
+    def reboot_cost_cycles(self) -> int:
+        """Virtual cost of the reboot memcpy (one cycle per 4 words)."""
+        return max(self.size // 4, 1)
+
+    # -- debugging -------------------------------------------------------------
+    def corrupt_word(self, addr: int, value: int) -> None:
+        """Deliberately corrupt a word (used by tests and fault injection)."""
+        self.write_word(addr, value, tainted=True)
+
+    def __repr__(self):
+        return (
+            f"MemoryImage(base={self.base:#x}, size={self.size}, "
+            f"alloc_ptr={self._alloc_ptr})"
+        )

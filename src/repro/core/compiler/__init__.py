@@ -1,0 +1,16 @@
+"""SuperGlue compiler: IDL -> interface-driven recovery stubs."""
+
+from repro.core.compiler.codegen import CompiledInterface, SuperGlueCompiler
+from repro.core.compiler.ir import FunctionIR, InterfaceIR
+from repro.core.compiler.predicates import PREDICATES, evaluate_predicates
+from repro.core.compiler.templates import TEMPLATES
+
+__all__ = [
+    "CompiledInterface",
+    "SuperGlueCompiler",
+    "FunctionIR",
+    "InterfaceIR",
+    "PREDICATES",
+    "evaluate_predicates",
+    "TEMPLATES",
+]

@@ -1,0 +1,90 @@
+"""Predicates gating the compiler's code templates (Section IV-B).
+
+"The predicates encode those aspects of the model that map to the recovery
+mechanisms"; a template is included in the generated code only if its
+predicate evaluates to true for the interface (or interface function) at
+hand.  Predicates take ``(ir, fn_ir)`` where ``fn_ir`` may be ``None`` for
+interface-level templates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.compiler.ir import FunctionIR, InterfaceIR
+from repro.core.model import ParentKind
+
+Predicate = Callable[[InterfaceIR, Optional[FunctionIR]], bool]
+
+
+def _fn(check):
+    """Lift a function-level check; false when no function is in scope."""
+    return lambda ir, fn: fn is not None and check(ir, fn)
+
+
+PREDICATES: Dict[str, Predicate] = {
+    # -- interface-level (model) predicates ---------------------------------
+    "always": lambda ir, fn: True,
+    "model_blocking": lambda ir, fn: ir.model.blocking,
+    "model_nonblocking": lambda ir, fn: not ir.model.blocking,
+    "model_global": lambda ir, fn: ir.model.desc_global,
+    "model_local": lambda ir, fn: not ir.model.desc_global,
+    "model_resc_data": lambda ir, fn: ir.model.resource_has_data,
+    "model_desc_data": lambda ir, fn: ir.model.desc_has_data,
+    "model_parent": lambda ir, fn: ir.model.parent is not ParentKind.SOLO,
+    "model_solo": lambda ir, fn: ir.model.parent is ParentKind.SOLO,
+    "model_xcparent": lambda ir, fn: ir.model.parent is ParentKind.XCPARENT,
+    "model_close_children": lambda ir, fn: ir.model.close_children,
+    "model_close_removes": lambda ir, fn: ir.model.close_removes_dependency,
+    "has_restores": lambda ir, fn: bool(ir.sm.restores),
+    # -- function-level predicates ------------------------------------------
+    "fn_any": _fn(lambda ir, fn: True),
+    "fn_creation": _fn(lambda ir, fn: fn.is_creation),
+    "fn_not_creation": _fn(lambda ir, fn: not fn.is_creation),
+    "fn_terminal": _fn(lambda ir, fn: fn.is_terminal),
+    "fn_block": _fn(lambda ir, fn: fn.is_block),
+    "fn_wakeup": _fn(lambda ir, fn: fn.is_wakeup),
+    "fn_readonly": _fn(lambda ir, fn: fn.is_readonly),
+    "fn_sticky": _fn(lambda ir, fn: fn.name in ir.sm.sticky_fns),
+    "fn_has_desc": _fn(lambda ir, fn: fn.desc_index is not None),
+    "fn_has_desc_or_parent": _fn(
+        lambda ir, fn: fn.desc_index is not None or fn.parent_index is not None
+    ),
+    "fn_has_parent_param": _fn(lambda ir, fn: fn.parent_index is not None),
+    "fn_has_principal": _fn(lambda ir, fn: fn.principal_index is not None),
+    "fn_tracks_params": _fn(lambda ir, fn: bool(fn.tracked)),
+    "fn_tracks_retval": _fn(lambda ir, fn: fn.ret_track is not None),
+    "fn_retval_add": _fn(
+        lambda ir, fn: fn.ret_track is not None and fn.ret_track[1] == "add"
+    ),
+    "fn_plain": _fn(
+        lambda ir, fn: not (
+            fn.is_creation or fn.is_terminal or fn.is_block or fn.is_readonly
+        )
+    ),
+    # -- combined (mechanism) predicates -------------------------------------
+    "mech_t0": lambda ir, fn: ir.model.needs_eager_wakeup,
+    "mech_d0_terminal": _fn(
+        lambda ir, fn: fn.is_terminal and ir.model.close_children
+    ),
+    "mech_d1_create": _fn(
+        lambda ir, fn: fn.is_creation
+        and fn.parent_index is not None
+        and ir.model.needs_parent_ordering
+    ),
+    "mech_g0_dispatch": lambda ir, fn: ir.model.needs_storage_descriptors,
+    "mech_g1_service": lambda ir, fn: ir.model.needs_storage_data,
+    "mech_u0_creator": lambda ir, fn: ir.model.needs_upcalls,
+}
+
+
+def evaluate_predicates(ir: InterfaceIR) -> Dict[str, bool]:
+    """Interface-level predicate truth table (fn-level ones use any-fn)."""
+    out: Dict[str, bool] = {}
+    fns = list(ir.functions.values())
+    for name, predicate in PREDICATES.items():
+        if name.startswith(("fn_", "mech_d0", "mech_d1")):
+            out[name] = any(predicate(ir, fn) for fn in fns)
+        else:
+            out[name] = predicate(ir, None)
+    return out

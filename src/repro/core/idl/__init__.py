@@ -1,0 +1,21 @@
+"""SuperGlue IDL front end (Section IV-A, Table I, Fig. 3)."""
+
+from repro.core.idl.ast import (
+    FunctionDecl,
+    InterfaceSpec,
+    Param,
+    ServiceInfo,
+    SMDecl,
+)
+from repro.core.idl.parser import parse_idl
+from repro.core.idl.validate import build_ir
+
+__all__ = [
+    "FunctionDecl",
+    "InterfaceSpec",
+    "Param",
+    "ServiceInfo",
+    "SMDecl",
+    "parse_idl",
+    "build_ir",
+]

@@ -1,0 +1,143 @@
+"""Abstract syntax tree for the SuperGlue IDL.
+
+The surface syntax is the paper's (Table I / Fig. 3): a
+``service_global_info`` block instantiating the descriptor-resource model,
+``sm_*`` declarations describing the descriptor state machine, and
+C-style function prototypes whose parameters carry tracking annotations
+(``desc``, ``desc_data``, ``parent_desc``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class ServiceInfo:
+    """The ``service_global_info = { ... };`` block (raw key/value)."""
+
+    entries: Dict[str, str] = field(default_factory=dict)
+
+    def get_bool(self, key: str, default: bool = False) -> bool:
+        value = self.entries.get(key)
+        if value is None:
+            return default
+        return value.strip().lower() == "true"
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        return self.entries.get(key, default)
+
+
+@dataclass
+class SMDecl:
+    """One ``sm_<kind>(args...);`` declaration.
+
+    Kinds: ``transition``, ``creation``, ``terminal``, ``block``,
+    ``wakeup``, ``readonly`` (extension), ``restore`` (extension).
+    """
+
+    kind: str
+    args: List[str]
+    line: int = 0
+
+
+@dataclass
+class Param:
+    """A function parameter with its tracking annotations.
+
+    Attributes:
+        ctype: declared C type (e.g. ``long``, ``componentid_t``).
+        name: parameter name.
+        is_desc: annotated ``desc(...)`` — the descriptor-id argument the
+            stub translates and recovers on demand.
+        is_parent: annotated ``parent_desc(...)`` — the parent descriptor.
+        tracked: annotated ``desc_data(...)`` — stored in the descriptor's
+            tracking meta-data under ``name``.
+    """
+
+    ctype: str
+    name: str
+    is_desc: bool = False
+    is_parent: bool = False
+    tracked: bool = False
+
+    @property
+    def is_principal(self) -> bool:
+        """Component-id parameters identify the invoking client."""
+        return self.ctype in ("componentid_t", "spdid_t")
+
+
+@dataclass
+class FunctionDecl:
+    """A prototype, e.g. ``long evt_wait(componentid_t compid, desc(long evtid));``."""
+
+    name: str
+    ret_ctype: str
+    params: List[Param] = field(default_factory=list)
+    #: From a preceding ``desc_data_retval(type, name[, mode])``:
+    #: (ctype, meta name, mode) where mode is "set" or "add".
+    ret_track: Optional[Tuple[str, str, str]] = None
+    line: int = 0
+
+    def desc_param_index(self) -> Optional[int]:
+        for i, p in enumerate(self.params):
+            if p.is_desc:
+                return i
+        return None
+
+    def parent_param_index(self) -> Optional[int]:
+        for i, p in enumerate(self.params):
+            if p.is_parent:
+                return i
+        return None
+
+    def principal_param_index(self) -> Optional[int]:
+        for i, p in enumerate(self.params):
+            if p.is_principal:
+                return i
+        return None
+
+    def tracked_params(self) -> List[Tuple[int, str]]:
+        return [
+            (i, p.name)
+            for i, p in enumerate(self.params)
+            if p.tracked and not p.is_parent and not p.is_principal
+        ]
+
+
+@dataclass
+class InterfaceSpec:
+    """A parsed SuperGlue IDL file."""
+
+    name: str
+    info: ServiceInfo
+    sm_decls: List[SMDecl] = field(default_factory=list)
+    functions: List[FunctionDecl] = field(default_factory=list)
+    source: str = ""
+
+    def function(self, name: str) -> FunctionDecl:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    @property
+    def loc(self) -> int:
+        """Non-blank, non-comment lines of the IDL source (Fig. 6c)."""
+        count = 0
+        in_block_comment = False
+        for line in self.source.splitlines():
+            stripped = line.strip()
+            if in_block_comment:
+                if "*/" in stripped:
+                    in_block_comment = False
+                continue
+            if not stripped or stripped.startswith("//"):
+                continue
+            if stripped.startswith("/*"):
+                if "*/" not in stripped:
+                    in_block_comment = True
+                continue
+            count += 1
+        return count

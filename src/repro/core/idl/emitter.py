@@ -1,0 +1,83 @@
+"""IDL emitter: render an :class:`InterfaceSpec` back to source text.
+
+The inverse of the parser.  Used for tooling (normalising hand-written
+specs, generating documentation) and for the round-trip property tests:
+``parse(emit(parse(text)))`` must reproduce the same specification.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.idl.ast import FunctionDecl, InterfaceSpec, Param
+
+
+def _render_param(param: Param) -> str:
+    decl = f"{param.ctype} {param.name}" if param.name else param.ctype
+    if param.is_parent:
+        decl = f"parent_desc({decl})"
+    if param.is_desc:
+        decl = f"desc({decl})"
+    if param.tracked and not param.is_parent:
+        decl = f"desc_data({decl})"
+    elif param.tracked and param.is_parent:
+        decl = f"desc_data({decl})"
+    return decl
+
+
+def _render_function(fn: FunctionDecl) -> List[str]:
+    lines: List[str] = []
+    if fn.ret_track is not None:
+        ctype, name, mode = fn.ret_track
+        suffix = f", {mode}" if mode != "set" else ""
+        lines.append(f"desc_data_retval({ctype}, {name}{suffix})")
+    params = ", ".join(_render_param(p) for p in fn.params)
+    ret = f"{fn.ret_ctype} " if fn.ret_ctype else ""
+    lines.append(f"{ret}{fn.name}({params});")
+    return lines
+
+
+def emit_idl(spec: InterfaceSpec) -> str:
+    """Render ``spec`` as SuperGlue IDL source."""
+    lines: List[str] = [f"service = {spec.name};", ""]
+    if spec.info.entries:
+        lines.append("service_global_info = {")
+        entries = list(spec.info.entries.items())
+        for index, (key, value) in enumerate(entries):
+            comma = "," if index < len(entries) - 1 else ""
+            lines.append(f"        {key} = {value}{comma}")
+        lines.append("};")
+        lines.append("")
+    for decl in spec.sm_decls:
+        args = ", ".join(decl.args)
+        lines.append(f"sm_{decl.kind}({args});")
+    if spec.sm_decls:
+        lines.append("")
+    for fn in spec.functions:
+        lines.extend(_render_function(fn))
+    return "\n".join(lines) + "\n"
+
+
+def specs_equivalent(a: InterfaceSpec, b: InterfaceSpec) -> bool:
+    """Structural equivalence, ignoring source text and line numbers."""
+    if a.name != b.name or a.info.entries != b.info.entries:
+        return False
+    if [(d.kind, tuple(d.args)) for d in a.sm_decls] != [
+        (d.kind, tuple(d.args)) for d in b.sm_decls
+    ]:
+        return False
+    if len(a.functions) != len(b.functions):
+        return False
+    for fa, fb in zip(a.functions, b.functions):
+        if (fa.name, fa.ret_ctype, fa.ret_track) != (
+            fb.name, fb.ret_ctype, fb.ret_track
+        ):
+            return False
+        if len(fa.params) != len(fb.params):
+            return False
+        for pa, pb in zip(fa.params, fb.params):
+            if (pa.ctype, pa.name, pa.is_desc, pa.is_parent, pa.tracked) != (
+                pb.ctype, pb.name, pb.is_desc, pb.is_parent, pb.tracked
+            ):
+                return False
+    return True

@@ -1,0 +1,130 @@
+"""Tokenizer for the SuperGlue IDL.
+
+The paper's implementation leans on the C preprocessor plus pycparser
+(Section IV-B).  Offline, we tokenize the small grammar directly: the
+token set is identifiers, integers, and the punctuation
+``( ) { } , ; =``, with ``//`` and ``/* */`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import IDLSyntaxError
+
+PUNCTUATION = "(){},;="
+
+
+@dataclass
+class Token:
+    kind: str  # "ident" | "number" | "punct" | "eof"
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, L{self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize IDL source; raises :class:`IDLSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise IDLSyntaxError("unterminated block comment", line, column)
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            i = end + 2
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("punct", ch, line, column))
+            i += 1
+            column += 1
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and source[i + 1].isdigit()
+        ):
+            start = i
+            i += 1
+            while i < n and (source[i].isalnum() or source[i] == "x"):
+                i += 1
+            tokens.append(Token("number", source[start:i], line, column))
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            tokens.append(Token("ident", source[start:i], line, column))
+            column += i - start
+            continue
+        if ch == "*":
+            # Pointer declarators are accepted and folded into the type.
+            tokens.append(Token("ident", "*", line, column))
+            i += 1
+            column += 1
+            continue
+        raise IDLSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual parser helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def expect(self, kind: str, value: str = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value if value is not None else kind
+            raise IDLSyntaxError(
+                f"expected {want!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.next()
+
+    def accept(self, kind: str, value: str = None) -> bool:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            self.next()
+            return True
+        return False
+
+    @property
+    def at_eof(self) -> bool:
+        return self.peek().kind == "eof"

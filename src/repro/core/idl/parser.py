@@ -1,0 +1,213 @@
+"""Recursive-descent parser for the SuperGlue IDL (Fig. 3 grammar).
+
+Top-level items:
+
+* ``service_global_info = { key = value, ... };``
+* ``sm_transition(a, b);`` and the other ``sm_*`` declarations;
+* ``desc_data_retval(type, name[, mode])`` — annotates the *next*
+  prototype's return value;
+* C-style prototypes whose parameters may be wrapped in ``desc(...)``,
+  ``desc_data(...)``, and ``parent_desc(...)`` annotations (annotations
+  nest, e.g. ``desc_data(parent_desc(long parent_evtid))``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.idl.ast import (
+    FunctionDecl,
+    InterfaceSpec,
+    Param,
+    ServiceInfo,
+    SMDecl,
+)
+from repro.core.idl.lexer import Token, TokenStream, tokenize
+from repro.errors import IDLSyntaxError
+
+SM_KINDS = (
+    "sm_transition",
+    "sm_creation",
+    "sm_terminal",
+    "sm_block",
+    "sm_wakeup",
+    "sm_readonly",
+    "sm_restore",
+    "sm_sticky",
+)
+
+PARAM_ANNOTATIONS = ("desc", "desc_data", "parent_desc")
+
+
+def parse_idl(source: str, name: str = "") -> InterfaceSpec:
+    """Parse IDL source text into an :class:`InterfaceSpec`.
+
+    ``name`` is the service name; it may instead be declared in the file
+    with ``service = <name>;`` (an extension, since the paper names the
+    interface by its file name).
+    """
+    stream = TokenStream(tokenize(source))
+    info = ServiceInfo()
+    sm_decls: List[SMDecl] = []
+    functions: List[FunctionDecl] = []
+    pending_ret_track: Optional[Tuple[str, str, str]] = None
+    service_name = name
+
+    while not stream.at_eof:
+        token = stream.peek()
+        if token.kind != "ident":
+            raise IDLSyntaxError(
+                f"unexpected {token.value!r} at top level", token.line, token.column
+            )
+        if token.value == "service":
+            stream.next()
+            stream.expect("punct", "=")
+            service_name = stream.expect("ident").value
+            stream.expect("punct", ";")
+        elif token.value == "service_global_info":
+            stream.next()
+            _parse_info_block(stream, info)
+        elif token.value in SM_KINDS:
+            sm_decls.append(_parse_sm_decl(stream))
+        elif token.value == "desc_data_retval":
+            if pending_ret_track is not None:
+                raise IDLSyntaxError(
+                    "desc_data_retval not followed by a prototype",
+                    token.line,
+                    token.column,
+                )
+            pending_ret_track = _parse_ret_track(stream)
+        else:
+            fn = _parse_prototype(stream)
+            fn.ret_track = pending_ret_track
+            pending_ret_track = None
+            functions.append(fn)
+
+    if pending_ret_track is not None:
+        raise IDLSyntaxError("dangling desc_data_retval at end of file")
+    if not service_name:
+        raise IDLSyntaxError(
+            "no service name: pass name= or declare 'service = <name>;'"
+        )
+    return InterfaceSpec(
+        name=service_name,
+        info=info,
+        sm_decls=sm_decls,
+        functions=functions,
+        source=source,
+    )
+
+
+def _parse_info_block(stream: TokenStream, info: ServiceInfo) -> None:
+    stream.expect("punct", "=")
+    stream.expect("punct", "{")
+    while not stream.accept("punct", "}"):
+        key = stream.expect("ident").value
+        stream.expect("punct", "=")
+        value_token = stream.peek()
+        if value_token.kind not in ("ident", "number"):
+            raise IDLSyntaxError(
+                f"bad value for {key}", value_token.line, value_token.column
+            )
+        stream.next()
+        info.entries[key] = value_token.value
+        stream.accept("punct", ",")
+    stream.accept("punct", ";")
+
+
+def _parse_sm_decl(stream: TokenStream) -> SMDecl:
+    token = stream.expect("ident")
+    kind = token.value[len("sm_"):]
+    stream.expect("punct", "(")
+    args: List[str] = []
+    while not stream.accept("punct", ")"):
+        args.append(stream.expect("ident").value)
+        stream.accept("punct", ",")
+    stream.expect("punct", ";")
+    return SMDecl(kind=kind, args=args, line=token.line)
+
+
+def _parse_ret_track(stream: TokenStream) -> Tuple[str, str, str]:
+    stream.expect("ident", "desc_data_retval")
+    stream.expect("punct", "(")
+    ctype = _parse_type_tokens(stream)
+    stream.expect("punct", ",")
+    name = stream.expect("ident").value
+    mode = "set"
+    if stream.accept("punct", ","):
+        mode = stream.expect("ident").value
+        if mode not in ("set", "add"):
+            raise IDLSyntaxError(f"desc_data_retval mode must be set|add, got {mode!r}")
+    stream.expect("punct", ")")
+    stream.accept("punct", ";")
+    return (ctype, name, mode)
+
+
+def _parse_type_tokens(stream: TokenStream) -> str:
+    """One or more identifiers forming a C type (``unsigned long``, ...)."""
+    parts = [stream.expect("ident").value]
+    # Multi-word types and pointers: keep consuming identifiers while the
+    # token after the next one is not a separator that would make the
+    # current identifier the *name*.
+    while stream.peek().kind == "ident" and stream.peek(1).kind == "ident":
+        parts.append(stream.next().value)
+    while stream.peek().kind == "ident" and stream.peek().value == "*":
+        parts.append(stream.next().value)
+    return " ".join(parts)
+
+
+def _parse_prototype(stream: TokenStream) -> FunctionDecl:
+    first = stream.expect("ident")
+    # Either "rettype name(" or just "name(" (Fig. 3's evt_split has the
+    # return described by the preceding desc_data_retval line).
+    type_parts = [first.value]
+    while stream.peek().kind == "ident" and stream.peek(1).kind == "ident":
+        type_parts.append(stream.next().value)
+    if stream.peek().kind == "ident":
+        fn_name = stream.next().value
+        ret_ctype = " ".join(type_parts)
+    else:
+        fn_name = type_parts[-1]
+        ret_ctype = " ".join(type_parts[:-1]) or "long"
+    stream.expect("punct", "(")
+    params: List[Param] = []
+    if not stream.accept("punct", ")"):
+        while True:
+            params.append(_parse_param(stream))
+            if stream.accept("punct", ")"):
+                break
+            stream.expect("punct", ",")
+    stream.expect("punct", ";")
+    return FunctionDecl(
+        name=fn_name, ret_ctype=ret_ctype, params=params, line=first.line
+    )
+
+
+def _parse_param(stream: TokenStream) -> Param:
+    """A parameter: possibly-nested annotations around ``type name``."""
+    annotations = []
+    while (
+        stream.peek().kind == "ident"
+        and stream.peek().value in PARAM_ANNOTATIONS
+        and stream.peek(1).kind == "punct"
+        and stream.peek(1).value == "("
+    ):
+        annotations.append(stream.next().value)
+        stream.expect("punct", "(")
+    if stream.peek().value == "void":
+        stream.next()
+        param = Param(ctype="void", name="")
+    else:
+        ctype = _parse_type_tokens(stream)
+        name = stream.expect("ident").value
+        param = Param(ctype=ctype, name=name)
+    for annotation in annotations:
+        stream.expect("punct", ")")
+        if annotation == "desc":
+            param.is_desc = True
+        elif annotation == "desc_data":
+            param.tracked = True
+        elif annotation == "parent_desc":
+            param.is_parent = True
+            param.tracked = True
+    return param

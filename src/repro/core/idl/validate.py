@@ -1,0 +1,177 @@
+"""Validation and lowering: IDL AST -> compiler IR.
+
+Cross-checks the descriptor-resource model against the state-machine
+declarations and the prototype annotations, enforcing the consistency
+properties the paper states (e.g. ``I^block != {} <-> B_r``), then builds
+the :class:`~repro.core.compiler.ir.InterfaceIR`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.compiler.ir import FunctionIR, InterfaceIR
+from repro.core.idl.ast import InterfaceSpec
+from repro.core.model import DescriptorResourceModel, ParentKind
+from repro.core.state_machine import DescriptorStateMachine, RestoreSpec
+from repro.errors import IDLValidationError
+
+
+def build_model(spec: InterfaceSpec) -> DescriptorResourceModel:
+    info = spec.info
+    model = DescriptorResourceModel(
+        blocking=info.get_bool("desc_block"),
+        resource_has_data=info.get_bool("resc_has_data"),
+        desc_global=info.get_bool("desc_is_global"),
+        parent=ParentKind.from_str(info.get("desc_has_parent", "solo")),
+        close_children=info.get_bool("desc_close_children"),
+        close_removes_dependency=info.get_bool("desc_close_remove"),
+        desc_has_data=info.get_bool("desc_has_data"),
+    )
+    model.validate()
+    return model
+
+
+def build_state_machine(spec: InterfaceSpec) -> DescriptorStateMachine:
+    transitions = []
+    creation: List[str] = []
+    terminal: List[str] = []
+    block: List[str] = []
+    wakeup: List[str] = []
+    readonly: List[str] = []
+    restores: List[RestoreSpec] = []
+    sticky: List[str] = []
+    for decl in spec.sm_decls:
+        if decl.kind == "transition":
+            if len(decl.args) != 2:
+                raise IDLValidationError(
+                    f"sm_transition takes 2 functions, got {decl.args}"
+                )
+            transitions.append((decl.args[0], decl.args[1]))
+        elif decl.kind == "creation":
+            creation.extend(decl.args)
+        elif decl.kind == "terminal":
+            terminal.extend(decl.args)
+        elif decl.kind == "block":
+            block.extend(decl.args)
+        elif decl.kind == "wakeup":
+            wakeup.extend(decl.args)
+        elif decl.kind == "readonly":
+            readonly.extend(decl.args)
+        elif decl.kind == "sticky":
+            sticky.extend(decl.args)
+        elif decl.kind == "restore":
+            if not 1 <= len(decl.args) <= 2:
+                raise IDLValidationError(
+                    f"sm_restore takes fn[, counter], got {decl.args}"
+                )
+            restores.append(
+                RestoreSpec(decl.args[0], decl.args[1] if len(decl.args) == 2 else None)
+            )
+        else:  # pragma: no cover - parser rejects unknown kinds
+            raise IDLValidationError(f"unknown sm declaration {decl.kind!r}")
+    sm = DescriptorStateMachine(
+        functions=[f.name for f in spec.functions],
+        transitions=transitions,
+        creation_fns=creation,
+        terminal_fns=terminal,
+        block_fns=block,
+        wakeup_fns=wakeup,
+        readonly_fns=readonly,
+        restores=restores,
+        sticky_fns=sticky,
+    )
+    sm.validate()
+    return sm
+
+
+def build_ir(spec: InterfaceSpec) -> InterfaceIR:
+    """Validate ``spec`` and lower it to compiler IR."""
+    model = build_model(spec)
+    sm = build_state_machine(spec)
+
+    functions: Dict[str, FunctionIR] = {}
+    for decl in spec.functions:
+        fn = FunctionIR(
+            name=decl.name,
+            ret_ctype=decl.ret_ctype,
+            param_names=[p.name for p in decl.params],
+            param_ctypes=[p.ctype for p in decl.params],
+            desc_index=decl.desc_param_index(),
+            parent_index=decl.parent_param_index(),
+            principal_index=decl.principal_param_index(),
+            tracked=decl.tracked_params(),
+            ret_track=(
+                (decl.ret_track[1], decl.ret_track[2]) if decl.ret_track else None
+            ),
+            is_creation=decl.name in sm.creation_fns,
+            is_terminal=decl.name in sm.terminal_fns,
+            is_block=decl.name in sm.block_fns,
+            is_wakeup=decl.name in sm.wakeup_fns,
+            is_readonly=decl.name in sm.readonly_fns,
+        )
+        functions[decl.name] = fn
+
+    _cross_check(spec, model, sm, functions)
+    return InterfaceIR(
+        name=spec.name,
+        model=model,
+        sm=sm,
+        functions=functions,
+        idl_loc=spec.loc,
+    )
+
+
+def _cross_check(spec, model, sm, functions) -> None:
+    # I^block != {} <-> B_r  (Section III-B).
+    if bool(sm.block_fns) != model.blocking:
+        raise IDLValidationError(
+            "desc_block must match the presence of sm_block functions "
+            f"(desc_block={model.blocking}, sm_block={sorted(sm.block_fns)})"
+        )
+    if sm.block_fns and not sm.wakeup_fns:
+        raise IDLValidationError(
+            "blocking interfaces must declare an sm_wakeup function"
+        )
+    # Parent dependencies need a parent_desc-annotated creation parameter.
+    has_parent_param = any(
+        fn.parent_index is not None
+        for fn in functions.values()
+        if fn.is_creation
+    )
+    if model.parent is not ParentKind.SOLO and not has_parent_param:
+        raise IDLValidationError(
+            "desc_has_parent != solo but no creation function takes a "
+            "parent_desc(...) parameter"
+        )
+    if model.parent is ParentKind.SOLO and has_parent_param:
+        raise IDLValidationError(
+            "parent_desc(...) parameter declared but desc_has_parent = solo"
+        )
+    # Every non-creation function must name the descriptor it acts on.
+    for fn in functions.values():
+        if fn.is_creation:
+            continue
+        if fn.desc_index is None:
+            raise IDLValidationError(
+                f"{fn.name} is not a creation function and has no desc(...) "
+                f"parameter"
+            )
+    # Descriptor meta-data declared iff some data is tracked.
+    tracks_any = any(
+        fn.tracked or fn.ret_track for fn in functions.values()
+    )
+    if tracks_any and not model.desc_has_data:
+        raise IDLValidationError(
+            "desc_data(...) annotations present but desc_has_data = false"
+        )
+    # Creation functions must either track their returned descriptor id or
+    # return it plainly; enforce a declared return track when global, since
+    # G0 recovery must reproduce the id for the storage component.
+    if model.desc_global:
+        creation = [f for f in functions.values() if f.is_creation]
+        if not any(f.ret_track for f in creation):
+            raise IDLValidationError(
+                "global descriptors require desc_data_retval on the "
+                "creation function (G0 needs the id recorded)"
+            )

@@ -1,0 +1,142 @@
+"""The descriptor-resource model (Section III-A, Equation 1).
+
+``DR = (B_r, D_r, G_dr, P_dr, C_dr, Y_dr, D_dr)``
+
+SuperGlue decouples *resources* (what a server manages) from *descriptors*
+(the names clients hold for them).  The seven model variables parameterise
+which recovery mechanisms a service needs (Section III-C): blocking forces
+eager wakeup (T0), global descriptors force storage + upcalls (G0/U0),
+resource data forces storage introspection (G1), and parent/child
+dependencies force recovery ordering (D0/D1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import IDLValidationError
+
+
+class ParentKind(enum.Enum):
+    """``P_dr``: inter-descriptor dependency shape."""
+
+    SOLO = "solo"
+    PARENT = "parent"
+    XCPARENT = "xcparent"
+
+    @classmethod
+    def from_str(cls, text: str) -> "ParentKind":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise IDLValidationError(
+                f"desc_has_parent must be solo|parent|xcparent, got {text!r}"
+            ) from None
+
+
+@dataclass
+class DescriptorResourceModel:
+    """One service's instance of the DR model.
+
+    Attributes map one-to-one to the paper's variables:
+
+    * ``blocking`` — ``B_r``: threads can block inside the server.
+    * ``resource_has_data`` — ``D_r``: the resource carries bulk data that
+      must be redundantly stored (G1), e.g. file contents.
+    * ``desc_global`` — ``G_dr``: the descriptor namespace is shared across
+      client components (G0/U0).
+    * ``parent`` — ``P_dr``.
+    * ``close_children`` — ``C_dr``: closing a descriptor closes its
+      children (recursive revocation; D0).
+    * ``close_removes_dependency`` — ``Y_dr``: closing a descriptor removes
+      its tracking data (only meaningful when it has no children to serve).
+    * ``desc_has_data`` — ``D_dr`` is non-empty: descriptors carry tracked
+      meta-data (paths, offsets, periods, ...).
+    """
+
+    blocking: bool = False
+    resource_has_data: bool = False
+    desc_global: bool = False
+    parent: ParentKind = ParentKind.SOLO
+    close_children: bool = False
+    close_removes_dependency: bool = False
+    desc_has_data: bool = False
+
+    def validate(self) -> None:
+        """Enforce the model's internal consistency constraints.
+
+        The paper defines ``C_dr`` only when ``P_dr != Solo``, and
+        ``Y_dr <-> P_dr != Solo and not C_dr``.
+        """
+        if self.parent is ParentKind.SOLO and self.close_children:
+            raise IDLValidationError(
+                "desc_close_children requires desc_has_parent != solo "
+                "(C_dr is defined only with dependencies)"
+            )
+        if self.close_removes_dependency and self.close_children:
+            raise IDLValidationError(
+                "desc_close_remove and desc_close_children are exclusive "
+                "(Y_dr requires not C_dr)"
+            )
+        if self.close_removes_dependency and self.parent is ParentKind.SOLO:
+            raise IDLValidationError(
+                "desc_close_remove requires desc_has_parent != solo"
+            )
+
+    # -- mechanism predicates (Section III-C) --------------------------------
+    @property
+    def needs_eager_wakeup(self) -> bool:
+        """T0: blocked threads must be woken eagerly at fault time."""
+        return self.blocking
+
+    @property
+    def needs_parent_ordering(self) -> bool:
+        """D1: parents recover before children."""
+        return self.parent is not ParentKind.SOLO
+
+    @property
+    def parent_spans_components(self) -> bool:
+        """XCParent: D1 recovery may require upcalls into other clients."""
+        return self.parent is ParentKind.XCPARENT
+
+    @property
+    def needs_child_reconstruction(self) -> bool:
+        """D0: terminating a descriptor involves its children subtree."""
+        return self.close_children
+
+    @property
+    def needs_storage_descriptors(self) -> bool:
+        """G0: a storage component must map global descriptors to creators."""
+        return self.desc_global
+
+    @property
+    def needs_storage_data(self) -> bool:
+        """G1: resource data must be redundantly stored."""
+        return self.resource_has_data
+
+    @property
+    def needs_upcalls(self) -> bool:
+        """U0: recovery upcalls into the creating client component."""
+        return self.desc_global
+
+    def mechanisms(self) -> List[str]:
+        """The recovery mechanisms this model instance engages.
+
+        R0 (state-machine walk) and T1 (on-demand recovery) are universal.
+        """
+        out = ["R0", "T1"]
+        if self.needs_eager_wakeup:
+            out.append("T0")
+        if self.needs_child_reconstruction:
+            out.append("D0")
+        if self.needs_parent_ordering:
+            out.append("D1")
+        if self.needs_storage_descriptors:
+            out.append("G0")
+        if self.needs_storage_data:
+            out.append("G1")
+        if self.needs_upcalls:
+            out.append("U0")
+        return out

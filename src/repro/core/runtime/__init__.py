@@ -1,0 +1,18 @@
+"""SuperGlue stub runtime: tracking structures, stub bases, recovery."""
+
+from repro.core.runtime.recovery import RecoveryManager
+from repro.core.runtime.stubs import (
+    ClientStubRuntime,
+    ServerStubRuntime,
+    TidProxy,
+)
+from repro.core.runtime.tracking import DescriptorEntry, TrackingTable
+
+__all__ = [
+    "RecoveryManager",
+    "ClientStubRuntime",
+    "ServerStubRuntime",
+    "TidProxy",
+    "DescriptorEntry",
+    "TrackingTable",
+]

@@ -1,0 +1,122 @@
+"""Client-side descriptor tracking (Section II-C / III-B).
+
+The client stub tracks, for each descriptor it has handed out:
+
+* the *client-visible* id (stable across recovery — workload code never
+  sees server ids change under it);
+* the *current server id* (refreshed when recovery recreates the
+  descriptor, since servers assign fresh ids after a micro-reboot);
+* the state-machine state (the last state-changing function applied);
+* the bounded meta-data ``D_dr`` (offsets, paths, periods, owners, ...);
+* parent/child links for D0/D1 ordering; and
+* the server reboot epoch it was last made consistent with.
+
+This is the paper's bounded-memory alternative to logging every interface
+operation: state machine + meta-data instead of an operation log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.state_machine import INIT_STATE
+from repro.errors import RecoveryError
+
+
+class DescriptorEntry:
+    """Tracking record for one descriptor in one client component."""
+
+    __slots__ = (
+        "cdesc",
+        "sid",
+        "state",
+        "meta",
+        "create_fn",
+        "parent_cdesc",
+        "children",
+        "recovered_epoch",
+        "track_addr",
+        "closed",
+    )
+
+    def __init__(self, cdesc, sid, create_fn: str, epoch: int):
+        self.cdesc = cdesc
+        self.sid = sid
+        self.state: str = INIT_STATE
+        self.meta: Dict[str, object] = {}
+        self.create_fn = create_fn
+        self.parent_cdesc = None
+        self.children: Set[object] = set()
+        self.recovered_epoch = epoch
+        #: address of the in-image tracking record (client memory)
+        self.track_addr: Optional[int] = None
+        self.closed = False
+
+    def __repr__(self):
+        return (
+            f"DescriptorEntry(cdesc={self.cdesc!r}, sid={self.sid!r}, "
+            f"state={self.state!r}, epoch={self.recovered_epoch})"
+        )
+
+
+class TrackingTable:
+    """All descriptors a client stub tracks for one server interface."""
+
+    def __init__(self):
+        self._entries: Dict[object, DescriptorEntry] = {}
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def add(self, entry: DescriptorEntry) -> None:
+        self._entries[entry.cdesc] = entry
+
+    def lookup(self, cdesc) -> Optional[DescriptorEntry]:
+        return self._entries.get(cdesc)
+
+    def require(self, cdesc) -> DescriptorEntry:
+        entry = self._entries.get(cdesc)
+        if entry is None:
+            raise RecoveryError(f"descriptor {cdesc!r} is not tracked")
+        return entry
+
+    def remove(self, cdesc) -> Optional[DescriptorEntry]:
+        entry = self._entries.pop(cdesc, None)
+        if entry is not None and entry.parent_cdesc is not None:
+            parent = self._entries.get(entry.parent_cdesc)
+            if parent is not None:
+                parent.children.discard(cdesc)
+        return entry
+
+    def link_parent(self, child_cdesc, parent_cdesc) -> None:
+        child = self.require(child_cdesc)
+        child.parent_cdesc = parent_cdesc
+        parent = self._entries.get(parent_cdesc)
+        if parent is not None:
+            parent.children.add(child_cdesc)
+
+    def subtree(self, cdesc) -> List[DescriptorEntry]:
+        """The descriptor and all tracked descendants (D0 removal order)."""
+        out: List[DescriptorEntry] = []
+        stack = [cdesc]
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            entry = self._entries.get(current)
+            if entry is None:
+                continue
+            out.append(entry)
+            stack.extend(entry.children)
+        return out
+
+    def entries_by_sid(self, sid) -> List[DescriptorEntry]:
+        return [e for e in self._entries.values() if e.sid == sid]
+
+    def all_cdescs(self) -> List[object]:
+        return list(self._entries.keys())

@@ -1,0 +1,236 @@
+"""Descriptor state machines (Section III-B, Equation 2).
+
+``SM = (I, S, sigma, s0, s_f)``
+
+States are implicit, as in the paper: a descriptor's state is identified
+by the last state-changing interface function applied to it.  The machine
+is built from the IDL's ``sm_transition(a, b)`` declarations ("after a, b
+may follow") plus the function classes:
+
+* creation (``I^create``) — returns a fresh descriptor in ``s0``;
+* terminal (``I^terminate``) — destroys the descriptor;
+* block / wakeup (``I^block`` / ``I^wakeup``) — blocking semantics, which
+  drive the eager/on-demand recovery choice (T0/T1);
+* read-only — functions that only read or move *tracked data* without
+  changing the state (they never become a descriptor's expected state);
+* restore — functions replayed during recovery purely to restore tracked
+  data (e.g. ``tseek`` restores a file offset; ``evt_trigger`` replays
+  pending triggers).
+
+Recovery (R0) computes the *shortest walk* from ``s0`` to the expected
+state through non-blocking, non-read-only transitions (BFS), then appends
+the restore functions.  Blocked descriptors re-block through the stub's
+redo of the original blocking invocation rather than through the walk.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import IDLValidationError, RecoveryError
+
+#: The initial state a descriptor is in right after creation.
+INIT_STATE = "<s0>"
+
+#: The fault state every state implicitly transitions to on server failure.
+FAULT_STATE = "<fault>"
+
+
+class RestoreSpec:
+    """A data-restoring replay step appended to every recovery walk.
+
+    ``counter`` optionally names a tracked meta-datum whose value gives the
+    replay count (e.g. pending event triggers); ``None`` means replay once.
+    """
+
+    __slots__ = ("fn", "counter")
+
+    def __init__(self, fn: str, counter: Optional[str] = None):
+        self.fn = fn
+        self.counter = counter
+
+    def __repr__(self):
+        return f"RestoreSpec({self.fn!r}, counter={self.counter!r})"
+
+
+class DescriptorStateMachine:
+    """The explicit form of a service's implicit descriptor state machine."""
+
+    def __init__(
+        self,
+        functions: Sequence[str],
+        transitions: Sequence[Tuple[str, str]],
+        creation_fns: Sequence[str],
+        terminal_fns: Sequence[str],
+        block_fns: Sequence[str] = (),
+        wakeup_fns: Sequence[str] = (),
+        readonly_fns: Sequence[str] = (),
+        restores: Sequence[RestoreSpec] = (),
+        sticky_fns: Sequence[str] = (),
+    ):
+        self.functions: List[str] = list(functions)
+        self.transitions: Set[Tuple[str, str]] = set(transitions)
+        self.creation_fns: Set[str] = set(creation_fns)
+        self.terminal_fns: Set[str] = set(terminal_fns)
+        self.block_fns: Set[str] = set(block_fns)
+        self.wakeup_fns: Set[str] = set(wakeup_fns)
+        self.readonly_fns: Set[str] = set(readonly_fns)
+        self.restores: List[RestoreSpec] = list(restores)
+        #: Sticky functions: possibly-blocking functions whose *completion*
+        #: leaves durable server state the walk must re-establish by
+        #: replaying them (e.g. ``lock_take`` leaves an owner).  Replays
+        #: run against a freshly rebooted server, so they complete without
+        #: blocking.
+        self.sticky_fns: Set[str] = set(sticky_fns)
+        self._walk_cache: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        known = set(self.functions)
+        for a, b in self.transitions:
+            if a not in known or b not in known:
+                raise IDLValidationError(
+                    f"transition ({a}, {b}) references unknown function"
+                )
+        for group_name, group in (
+            ("creation", self.creation_fns),
+            ("terminal", self.terminal_fns),
+            ("block", self.block_fns),
+            ("wakeup", self.wakeup_fns),
+            ("readonly", self.readonly_fns),
+            ("sticky", self.sticky_fns),
+        ):
+            for fn in group:
+                if fn not in known:
+                    raise IDLValidationError(
+                        f"{group_name} function {fn!r} is not in the interface"
+                    )
+        if not self.creation_fns:
+            raise IDLValidationError("interface declares no creation function")
+        for restore in self.restores:
+            if restore.fn not in known:
+                raise IDLValidationError(
+                    f"restore function {restore.fn!r} is not in the interface"
+                )
+        # Every non-creation, non-readonly function should be reachable,
+        # otherwise its state could never be recovered.
+        for fn in self.functions:
+            if fn in self.creation_fns or fn in self.readonly_fns:
+                continue
+            if fn in self.terminal_fns:
+                continue
+            if fn in self.block_fns and fn not in self.sticky_fns:
+                continue
+            if self.walk_to(fn) is None:
+                raise IDLValidationError(
+                    f"state after {fn!r} is unreachable from s0; "
+                    f"recovery would be impossible"
+                )
+
+    # ------------------------------------------------------------------
+    def states(self) -> Set[str]:
+        """The implicit state set: s0 plus one state per state-changing fn."""
+        out = {INIT_STATE, FAULT_STATE}
+        for fn in self.functions:
+            if self.changes_state(fn):
+                out.add(fn)
+        return out
+
+    def changes_state(self, fn: str) -> bool:
+        """Whether applying ``fn`` moves the descriptor to a new state."""
+        if fn in self.readonly_fns:
+            return False
+        if fn in self.block_fns and fn not in self.sticky_fns:
+            # Pure blocking is re-established via redo of the parked
+            # thread's invocation, not tracked as a descriptor state.
+            return False
+        return True
+
+    def sigma(self, state: str, fn: str) -> Optional[str]:
+        """The transition function: next state, or None if invalid."""
+        if fn in self.creation_fns and state in (INIT_STATE, FAULT_STATE):
+            # s0 *is* the state right after creation.
+            return INIT_STATE
+        source = self._transition_source(state)
+        if (source, fn) in self.transitions:
+            return fn if self.changes_state(fn) else state
+        return None
+
+    def _transition_source(self, state: str) -> str:
+        if state == INIT_STATE:
+            # s0 is the state after any creation function.
+            for fn in self.creation_fns:
+                return fn
+        return state
+
+    def valid_next(self, state: str) -> Set[str]:
+        source = self._transition_source(state)
+        return {b for (a, b) in self.transitions if a == source}
+
+    # ------------------------------------------------------------------
+    def walk_to(self, expected_state: str) -> Optional[List[str]]:
+        """Shortest function sequence from ``s0`` to ``expected_state``.
+
+        This is the paper's precomputed walk through the state machine
+        (Section III-B, R0), excluding the creation function itself (the
+        stub always begins by re-invoking creation) and avoiding blocking
+        and read-only functions.  Returns None if unreachable.
+        """
+        if expected_state in self._walk_cache:
+            return list(self._walk_cache[expected_state])
+        start_states = {fn for fn in self.creation_fns}
+        if expected_state == INIT_STATE or expected_state in start_states:
+            self._walk_cache[expected_state] = []
+            return []
+        # BFS over (state) nodes; edges labelled by functions.
+        queue = deque((s, []) for s in start_states)
+        visited = set(start_states)
+        while queue:
+            state, path = queue.popleft()
+            for a, b in self.transitions:
+                if a != state:
+                    continue
+                if b in self.block_fns and b not in self.sticky_fns:
+                    continue
+                if b in self.readonly_fns or b in self.terminal_fns:
+                    continue
+                if b in visited:
+                    continue
+                next_path = path + [b]
+                if b == expected_state:
+                    self._walk_cache[expected_state] = next_path
+                    return list(next_path)
+                visited.add(b)
+                queue.append((b, next_path))
+        return None
+
+    def recovery_walk(
+        self, expected_state: str, creation_fn: Optional[str] = None
+    ) -> List[str]:
+        """Full R0 walk: creation then intermediate transitions.
+
+        The returned list is function names to re-invoke, in order.
+        ``creation_fn`` selects which creation function made the descriptor
+        (interfaces like the memory manager have several).  The restore
+        steps (data-only replays, :attr:`restores`) are appended by the
+        stub at replay time with counts resolved from tracked meta-data.
+        """
+        if creation_fn is None:
+            creation = sorted(self.creation_fns)[0]
+        elif creation_fn not in self.creation_fns:
+            raise RecoveryError(f"{creation_fn!r} is not a creation function")
+        else:
+            creation = creation_fn
+        tail = self.walk_to(expected_state)
+        if tail is None:
+            raise RecoveryError(
+                f"no recovery path from s0 to state {expected_state!r}"
+            )
+        return [creation] + tail
+
+    def __repr__(self):
+        return (
+            f"DescriptorStateMachine(functions={self.functions}, "
+            f"transitions={sorted(self.transitions)})"
+        )

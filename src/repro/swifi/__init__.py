@@ -1,0 +1,13 @@
+"""Software-implemented fault injection (SWIFI), Section V-A."""
+
+from repro.swifi.campaign import CampaignResult, CampaignRunner
+from repro.swifi.classify import OUTCOMES, Outcome
+from repro.swifi.injector import SwifiController
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "OUTCOMES",
+    "Outcome",
+    "SwifiController",
+]

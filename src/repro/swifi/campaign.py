@@ -1,0 +1,208 @@
+"""Fault-injection campaign driver (Section V-D, Table II).
+
+For each target service, a campaign injects ``n_faults`` single-event
+upsets, one per run: the system is built fresh (the paper reboots the
+machine between runs "to clear any residual errors"), the service's
+workload is installed, an SEU is armed to fire at a random point of the
+workload's execution inside the target component, and the run is driven
+to completion.  Each injection is then classified per Table II's outcome
+taxonomy, and a campaign aggregates activation ratio and recovery success
+rate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SimulatedFault, SystemHang
+from repro.swifi.classify import Outcome, OutcomeCounter
+from repro.swifi.injector import SwifiController
+from repro.system import build_system
+from repro.workloads import workload_for
+
+#: Default iterations of the micro-workload per injection run: enough for
+#: latent corruption to surface, small enough for 500-fault campaigns.
+DEFAULT_ITERATIONS = 4
+
+#: Step budget per run; exceeding it means the system livelocked.
+MAX_STEPS = 60_000
+
+
+@dataclass
+class CampaignResult:
+    """One Table II row."""
+
+    service: str
+    counter: OutcomeCounter
+    seed: int
+    ft_mode: str
+
+    @property
+    def injected(self) -> int:
+        return self.counter.injected
+
+    def row(self) -> Dict[str, object]:
+        c = self.counter
+        return {
+            "component": self.service,
+            "injected": c.injected,
+            "recovered": c.recovered,
+            "not_recovered_segfault": c.count(Outcome.NOT_RECOVERED_SEGFAULT),
+            "not_recovered_propagated": c.count(Outcome.NOT_RECOVERED_PROPAGATED),
+            "not_recovered_other": c.count(Outcome.NOT_RECOVERED_OTHER),
+            "undetected": c.count(Outcome.UNDETECTED),
+            "activation_ratio": c.activation_ratio,
+            "recovery_success_rate": c.recovery_success_rate,
+        }
+
+
+class CampaignRunner:
+    """Runs a SWIFI campaign against one target service."""
+
+    def __init__(
+        self,
+        service: str,
+        ft_mode: str = "superglue",
+        n_faults: int = 500,
+        iterations: int = DEFAULT_ITERATIONS,
+        seed: int = 0,
+        recovery_mode: str = "ondemand",
+    ):
+        self.service = service
+        self.ft_mode = ft_mode
+        self.n_faults = n_faults
+        self.iterations = iterations
+        self.seed = seed
+        self.recovery_mode = recovery_mode
+        self.workload = workload_for(service)
+        self._rng = random.Random(seed)
+        self._horizon: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def calibrate(self) -> int:
+        """Dry run: count trace executions inside the target component.
+
+        The injection point is drawn uniformly from this horizon, which
+        models the paper's periodic injection timer landing at a uniformly
+        random instant of the workload's execution in the target.
+        """
+        system = build_system(
+            ft_mode=self.ft_mode, recovery_mode=self.recovery_mode
+        )
+        swifi = SwifiController(system.kernel, seed=0)
+        handle = self.workload.install(system, iterations=self.iterations)
+        system.run(max_steps=MAX_STEPS)
+        if not handle.check():
+            raise RuntimeError(
+                f"workload {self.workload.name} fails without faults: "
+                f"{handle.results}"
+            )
+        self._horizon = max(swifi.trace_counts.get(self.service, 1), 1)
+        return self._horizon
+
+    # ------------------------------------------------------------------
+    def run_one(self, run_seed: int) -> Outcome:
+        """One injection run; returns its classified outcome."""
+        if self._horizon is None:
+            self.calibrate()
+        system = build_system(
+            ft_mode=self.ft_mode, recovery_mode=self.recovery_mode
+        )
+        swifi = SwifiController(system.kernel, seed=run_seed)
+        handle = self.workload.install(system, iterations=self.iterations)
+        swifi.arm(
+            self.service,
+            after_executions=self._rng.randrange(self._horizon),
+        )
+        crash: Optional[BaseException] = None
+        steps = 0
+        try:
+            steps = system.run(max_steps=MAX_STEPS)
+        except SystemHang as hang:
+            crash = hang
+        except SimulatedFault as fault:
+            crash = fault
+        if system.kernel.crashed is not None and crash is None:
+            crash = system.kernel.crashed
+        return self._classify(system, swifi, handle, crash, steps)
+
+    def _classify(self, system, swifi, handle, crash, steps) -> Outcome:
+        delivered = swifi.delivered_count > 0
+        if crash is not None:
+            kind = getattr(crash, "kind", "fault")
+            if kind == "crash" or (kind == "segfault" and self.ft_mode == "none"):
+                return Outcome.NOT_RECOVERED_SEGFAULT
+            if kind == "propagated":
+                return Outcome.NOT_RECOVERED_PROPAGATED
+            return Outcome.NOT_RECOVERED_OTHER
+        if steps >= MAX_STEPS:
+            # Livelock: latent fault kept the system spinning.
+            return Outcome.NOT_RECOVERED_OTHER
+        workload_ok = handle.check()
+        rebooted = system.booter.reboots > 0
+        if rebooted:
+            return (
+                Outcome.RECOVERED if workload_ok else Outcome.NOT_RECOVERED_OTHER
+            )
+        if not delivered:
+            # The SEU landed where the workload no longer executed in the
+            # target (e.g. after its last invocation): no effect.
+            return Outcome.UNDETECTED
+        if workload_ok:
+            return Outcome.UNDETECTED
+        return Outcome.NOT_RECOVERED_OTHER
+
+    # ------------------------------------------------------------------
+    def run(self, progress=None) -> CampaignResult:
+        counter = OutcomeCounter()
+        for i in range(self.n_faults):
+            outcome = self.run_one(run_seed=self.seed * 1_000_003 + i)
+            counter.add(outcome)
+            if progress is not None:
+                progress(i + 1, self.n_faults, outcome)
+        return CampaignResult(
+            service=self.service,
+            counter=counter,
+            seed=self.seed,
+            ft_mode=self.ft_mode,
+        )
+
+
+def run_full_campaign(
+    services=None,
+    n_faults: int = 500,
+    ft_mode: str = "superglue",
+    seed: int = 0,
+) -> List[CampaignResult]:
+    """Reproduce Table II: one campaign per target service."""
+    from repro.idl_specs import SERVICES
+
+    results = []
+    for service in services or SERVICES:
+        runner = CampaignRunner(
+            service, ft_mode=ft_mode, n_faults=n_faults, seed=seed
+        )
+        results.append(runner.run())
+    return results
+
+
+def format_table2(results: List[CampaignResult]) -> str:
+    """Render campaign results in the shape of Table II."""
+    header = (
+        f"{'Component':<10}{'Injected':>9}{'Recovered':>10}"
+        f"{'NR(segf)':>9}{'NR(prop)':>9}{'NR(other)':>10}{'Undetect':>9}"
+        f"{'ActRatio':>10}{'SuccRate':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        row = result.row()
+        lines.append(
+            f"{row['component']:<10}{row['injected']:>9}{row['recovered']:>10}"
+            f"{row['not_recovered_segfault']:>9}"
+            f"{row['not_recovered_propagated']:>9}"
+            f"{row['not_recovered_other']:>10}{row['undetected']:>9}"
+            f"{row['activation_ratio']:>9.2%}{row['recovery_success_rate']:>9.2%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Fault outcome taxonomy (Section V-D / Table II).
+
+* ``recovered`` — the fault activated (was detected), the component was
+  micro-rebooted, and the workload ran to completion with correct results
+  ("continued execution that abides by the target component and workload
+  specifications post-recovery").
+* ``not_recovered_segfault`` — the system exited with a segmentation fault
+  (the exception path itself was destroyed).
+* ``not_recovered_propagated`` — a corrupted value escaped into a client
+  and caused an unrecoverable failure there.
+* ``not_recovered_other`` — hangs/latent faults and any other activated,
+  detected fault that recovery could not repair.
+* ``undetected`` — the flip had no observable effect (dead register,
+  overwritten value, or harmless corruption).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class Outcome(enum.Enum):
+    RECOVERED = "recovered"
+    NOT_RECOVERED_SEGFAULT = "not_recovered_segfault"
+    NOT_RECOVERED_PROPAGATED = "not_recovered_propagated"
+    NOT_RECOVERED_OTHER = "not_recovered_other"
+    UNDETECTED = "undetected"
+
+    @property
+    def activated(self) -> bool:
+        return self is not Outcome.UNDETECTED
+
+
+OUTCOMES = list(Outcome)
+
+
+@dataclass
+class OutcomeCounter:
+    """Aggregates outcomes into the Table II row statistics."""
+
+    counts: Dict[Outcome, int] = field(default_factory=dict)
+    details: List[str] = field(default_factory=list)
+
+    def add(self, outcome: Outcome, detail: str = "") -> None:
+        self.counts[outcome] = self.counts.get(outcome, 0) + 1
+        if detail:
+            self.details.append(f"{outcome.value}: {detail}")
+
+    def count(self, outcome: Outcome) -> int:
+        return self.counts.get(outcome, 0)
+
+    @property
+    def injected(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def activated(self) -> int:
+        return sum(c for o, c in self.counts.items() if o.activated)
+
+    @property
+    def recovered(self) -> int:
+        return self.count(Outcome.RECOVERED)
+
+    @property
+    def activation_ratio(self) -> float:
+        """|F_a| / |F_a u F_u|."""
+        return self.activated / self.injected if self.injected else 0.0
+
+    @property
+    def recovery_success_rate(self) -> float:
+        """|F_r| / |F_a|."""
+        return self.recovered / self.activated if self.activated else 0.0

@@ -1,0 +1,115 @@
+"""Register bit-flip injector (Section V-A).
+
+"Faults are injected by iterating through all threads and flipping
+register bits only if they are executing within one of the target server
+components ... randomly selecting a register from eight 32-bit registers
+(6 general purpose registers and 2 special registers ESP and EBP) and
+flipping a random bit in the selected register."
+
+The controller arms one pending single-event upset at a time.  The flip is
+applied by the trace interpreter once a thread executes a micro-op trace
+inside the target component: after a configurable number of trace
+executions (modelling the periodic injection timer landing at a random
+point of the workload) and at a random micro-op index within that trace.
+A fault mask restricts which bits are eligible (the evaluation uses
+0xFFFFFFFF — all 32 bits).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.composite.machine import NUM_REGS, Injection
+
+FULL_MASK = 0xFFFFFFFF
+
+
+class PlannedInjection:
+    """One armed single-event upset."""
+
+    __slots__ = ("component", "reg", "bit", "after_executions", "seen")
+
+    def __init__(self, component: str, reg: int, bit: int, after_executions: int):
+        self.component = component
+        self.reg = reg
+        self.bit = bit
+        self.after_executions = after_executions
+        self.seen = 0
+
+    def __repr__(self):
+        return (
+            f"PlannedInjection({self.component}, reg={self.reg}, "
+            f"bit={self.bit}, after={self.after_executions})"
+        )
+
+
+class SwifiController:
+    """Arms and delivers register bit flips into a target component."""
+
+    def __init__(self, kernel, seed: Optional[int] = None,
+                 fault_mask: int = FULL_MASK):
+        self.kernel = kernel
+        kernel.swifi = self
+        self.rng = random.Random(seed)
+        self.fault_mask = fault_mask & FULL_MASK
+        self._eligible_bits = [
+            b for b in range(32) if (self.fault_mask >> b) & 1
+        ]
+        if not self._eligible_bits:
+            raise ValueError("fault mask selects no bits")
+        self.pending: Optional[PlannedInjection] = None
+        self.delivered: List[Injection] = []
+        #: trace executions observed per component (for calibration)
+        self.trace_counts = {}
+
+    # ------------------------------------------------------------------
+    def arm(
+        self,
+        component: str,
+        reg: Optional[int] = None,
+        bit: Optional[int] = None,
+        after_executions: int = 0,
+    ) -> PlannedInjection:
+        """Arm one SEU against ``component``.
+
+        Register and bit default to uniform random choices, matching the
+        paper's first-order-approximation fault distribution.
+        """
+        if reg is None:
+            reg = self.rng.randrange(NUM_REGS)
+        if bit is None:
+            bit = self.rng.choice(self._eligible_bits)
+        self.pending = PlannedInjection(component, reg, bit, after_executions)
+        return self.pending
+
+    def disarm(self) -> None:
+        self.pending = None
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.delivered)
+
+    # ------------------------------------------------------------------
+    # Called by Component.execute for every trace execution.
+    # ------------------------------------------------------------------
+    def take_injection(self, component_name: str, trace_len: int):
+        self.trace_counts[component_name] = (
+            self.trace_counts.get(component_name, 0) + 1
+        )
+        pending = self.pending
+        if pending is None or pending.component != component_name:
+            return None
+        if trace_len <= 0:
+            return None
+        pending.seen += 1
+        if pending.seen <= pending.after_executions:
+            return None
+        injection = Injection(
+            reg=pending.reg,
+            bit=pending.bit,
+            op_index=self.rng.randrange(trace_len),
+        )
+        self.pending = None
+        self.delivered.append(injection)
+        return injection

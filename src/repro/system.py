@@ -1,0 +1,149 @@
+"""System builder: assemble a full simulated COMPOSITE system.
+
+Wires the kernel, booter, the six system services plus their protected
+helpers (storage, cbuf), application client components, and — depending on
+the fault-tolerance mode — the SuperGlue-generated stubs, the hand-written
+C^3 stubs, or no stubs at all (the unprotected baseline).
+
+This is the main entry point of the library::
+
+    from repro.system import build_system
+    system = build_system(ft_mode="superglue")
+    system.kernel.create_thread(...)
+    system.kernel.run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.composite.app import AppComponent
+from repro.composite.booter import Booter
+from repro.composite.cbuf import CbufManager
+from repro.composite.kernel import Kernel
+from repro.composite.services import (
+    EventService,
+    LockService,
+    MemoryManagerService,
+    RamFSService,
+    SchedService,
+    StorageService,
+    TimerService,
+)
+from repro.core.compiler import CompiledInterface, SuperGlueCompiler
+from repro.core.runtime.recovery import RecoveryManager
+from repro.errors import ConfigurationError
+from repro.idl_specs import SERVICES, load_all
+
+#: Default application (client) components hosting workload threads.
+DEFAULT_APPS = ("app0", "app1", "app2")
+
+_compiled_cache: Optional[Dict[str, CompiledInterface]] = None
+
+
+def compile_all_interfaces(force: bool = False) -> Dict[str, CompiledInterface]:
+    """Compile the six service IDLs once and cache the result."""
+    global _compiled_cache
+    if _compiled_cache is None or force:
+        compiler = SuperGlueCompiler()
+        _compiled_cache = {
+            name: compiler.compile_source(source, name=name)
+            for name, source in load_all().items()
+        }
+    return _compiled_cache
+
+
+@dataclass
+class System:
+    """A fully wired simulated system."""
+
+    kernel: Kernel
+    booter: Booter
+    ft_mode: str
+    apps: List[str]
+    recovery_manager: Optional[RecoveryManager] = None
+    compiled: Dict[str, CompiledInterface] = field(default_factory=dict)
+    client_stubs: Dict[tuple, object] = field(default_factory=dict)
+
+    def service(self, name: str):
+        return self.kernel.component(name)
+
+    def stub(self, client: str, server: str):
+        return self.client_stubs.get((client, server))
+
+    def run(self, **kwargs):
+        return self.kernel.run(**kwargs)
+
+
+def _make_services():
+    return [
+        SchedService(),
+        MemoryManagerService(),
+        RamFSService(),
+        LockService(),
+        EventService(),
+        TimerService(),
+    ]
+
+
+def build_system(
+    ft_mode: str = "superglue",
+    apps=DEFAULT_APPS,
+    recovery_mode: str = "ondemand",
+) -> System:
+    """Build a system in one of three fault-tolerance modes.
+
+    * ``"none"`` — no stubs, no recovery: a detected service fault crashes
+      the system (the unprotected COMPOSITE baseline of Fig. 7).
+    * ``"c3"`` — hand-written C^3 stubs (Section II-C baseline).
+    * ``"superglue"`` — SuperGlue-compiled stubs (the contribution).
+    """
+    if ft_mode not in ("none", "c3", "superglue"):
+        raise ConfigurationError(f"unknown ft_mode {ft_mode!r}")
+    kernel = Kernel(ft_mode=ft_mode)
+    for app in apps:
+        kernel.register_component(AppComponent(app))
+    for service in _make_services():
+        kernel.register_component(service)
+    kernel.register_component(StorageService())
+    kernel.register_component(CbufManager())
+    kernel.grant_all_caps()
+    booter = Booter(kernel)
+
+    system = System(
+        kernel=kernel, booter=booter, ft_mode=ft_mode, apps=list(apps)
+    )
+
+    if ft_mode == "none":
+        return system
+
+    manager = RecoveryManager(kernel, mode=recovery_mode)
+    system.recovery_manager = manager
+
+    if ft_mode == "superglue":
+        compiled = compile_all_interfaces()
+        system.compiled = compiled
+        for name in SERVICES:
+            interface = compiled[name]
+            manager.register_interface(interface.ir)
+            server_stub = interface.make_server_stub(kernel.component(name))
+            kernel.register_server_stub(name, server_stub)
+            for app in apps:
+                stub = interface.make_client_stub(app)
+                kernel.register_stub(app, name, stub)
+                system.client_stubs[(app, name)] = stub
+    else:  # c3
+        from repro.c3 import make_c3_stubs
+
+        irs, client_factory, server_factory = make_c3_stubs()
+        for name in SERVICES:
+            manager.register_interface(irs[name])
+            server_stub = server_factory(name, kernel.component(name), irs[name])
+            if server_stub is not None:
+                kernel.register_server_stub(name, server_stub)
+            for app in apps:
+                stub = client_factory(name, app, irs[name])
+                kernel.register_stub(app, name, stub)
+                system.client_stubs[(app, name)] = stub
+    return system

@@ -1,0 +1,20 @@
+"""Componentized web server application (Section V-E, Fig. 7)."""
+
+from repro.webserver.apache_model import ApacheModel
+from repro.webserver.http import (
+    HttpRequest,
+    build_response,
+    parse_request,
+)
+from repro.webserver.loadgen import LoadGenerator, LoadResult
+from repro.webserver.server import WebServer
+
+__all__ = [
+    "ApacheModel",
+    "HttpRequest",
+    "build_response",
+    "parse_request",
+    "LoadGenerator",
+    "LoadResult",
+    "WebServer",
+]

@@ -1,0 +1,46 @@
+"""Apache/Linux baseline stand-in (Fig. 7's leftmost bar).
+
+The paper compares against Apache 2.2.14 on Linux 3.2.6 on the same
+hardware — a monolithic-kernel server we cannot run inside the simulator.
+Per the substitution rules, we model it analytically: a single pipeline
+with a fixed per-request cost plus seeded jitter.  The default cost is
+calibrated against the simulated COMPOSITE server's nominal per-request
+cost so the Apache/COMPOSITE ratio matches the paper's measurement
+(~17600 vs ~16200 requests/second: Apache is ~8.6% faster — COMPOSITE
+pays for its fine-grained componentization with extra IPC).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.composite.scheduler import CYCLES_PER_US
+
+#: Nominal virtual cycles per request of the simulated COMPOSITE server
+#: without fault tolerance (measured; see benchmarks/bench_fig7).
+NOMINAL_COMPOSITE_REQUEST_CYCLES = 11_600
+
+#: Paper-measured throughput ratio Apache : COMPOSITE (~17600 : ~16200).
+APACHE_SPEEDUP = 17_600 / 16_200
+
+
+@dataclass
+class ApacheModel:
+    """Analytic throughput model of the Apache baseline."""
+
+    per_request_cycles: float = NOMINAL_COMPOSITE_REQUEST_CYCLES / APACHE_SPEEDUP
+    jitter: float = 0.02
+
+    def run(self, n_requests: int, seed: int = 0) -> float:
+        """Simulate serving ``n_requests``; returns throughput (req/s)."""
+        rng = random.Random(seed)
+        total_cycles = 0.0
+        for __ in range(n_requests):
+            noise = 1.0 + rng.uniform(-self.jitter, self.jitter)
+            total_cycles += self.per_request_cycles * noise
+        seconds = total_cycles / (CYCLES_PER_US * 1e6)
+        return n_requests / seconds
+
+    def throughput_rps(self, n_requests: int = 2_000, seed: int = 0) -> float:
+        return self.run(n_requests, seed=seed)

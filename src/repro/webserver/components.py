@@ -1,0 +1,92 @@
+"""Application-level components of the componentized web server.
+
+The paper's web server is decomposed into many separate components
+(Section II-B mentions a componentized web-server of over 20 components).
+We model the request path's own components — an HTTP parser and a
+connection manager — as real components reached by kernel invocations, on
+top of the six system services the requests exercise.  They are
+application-level, so they are not fault-injection targets (SuperGlue
+does not target application faults, Section II-E).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.composite.component import Component, export
+from repro.webserver.http import HttpRequest, parse_request
+
+#: Parse cost: fixed overhead plus per-16-bytes scanning.
+PARSE_BASE_CYCLES = 700
+PARSE_BYTE_SHIFT = 4
+
+#: Connection-table bookkeeping cost per call.
+CONN_OP_CYCLES = 350
+
+
+class HttpParserComponent(Component):
+    """Stateless HTTP parsing as a service to the connection manager."""
+
+    def __init__(self, name: str = "httpparse"):
+        super().__init__(name)
+        self.parsed = 0
+        self.rejected = 0
+
+    def reinit(self) -> None:
+        self.parsed = 0
+        self.rejected = 0
+
+    @export
+    def http_parse(self, thread, raw: bytes) -> Optional[HttpRequest]:
+        self.kernel.charge(
+            thread, PARSE_BASE_CYCLES + (len(raw) >> PARSE_BYTE_SHIFT)
+        )
+        request = parse_request(raw)
+        if request is None:
+            self.rejected += 1
+        else:
+            self.parsed += 1
+        return request
+
+
+class ConnectionManagerComponent(Component):
+    """Tracks live connections and per-path statistics."""
+
+    def __init__(self, name: str = "connmgr"):
+        super().__init__(name)
+        self.active: Dict[int, str] = {}
+        self.stats: Dict[str, int] = {}
+        self._next_id = 1
+
+    def reinit(self) -> None:
+        self.active = {}
+        self.stats = {}
+        self._next_id = 1
+
+    @export
+    def conn_open(self, thread, peer: str) -> int:
+        self.kernel.charge(thread, CONN_OP_CYCLES)
+        conn_id = self._next_id
+        self._next_id += 1
+        self.active[conn_id] = peer
+        return conn_id
+
+    @export
+    def conn_note(self, thread, conn_id: int, path: str) -> int:
+        self.kernel.charge(thread, CONN_OP_CYCLES)
+        if conn_id not in self.active:
+            return -1
+        self.stats[path] = self.stats.get(path, 0) + 1
+        return 0
+
+    @export
+    def conn_close(self, thread, conn_id: int) -> int:
+        self.kernel.charge(thread, CONN_OP_CYCLES)
+        if self.active.pop(conn_id, None) is None:
+            return -1
+        return 0
+
+    @export
+    def conn_count(self, thread) -> int:
+        self.kernel.charge(thread, CONN_OP_CYCLES)
+        return len(self.active)

@@ -1,0 +1,84 @@
+"""Minimal HTTP/1.0 parsing and response formatting.
+
+The paper's web server is "a custom web server implemented in COMPOSITE";
+requests here are real HTTP byte strings so the parsing work the server
+charges for corresponds to actual request structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+CRLF = "\r\n"
+
+STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    version: str
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() == "keep-alive"
+
+
+def parse_request(raw: bytes) -> Optional[HttpRequest]:
+    """Parse an HTTP request head; None if malformed."""
+    try:
+        text = raw.decode("ascii")
+    except UnicodeDecodeError:
+        return None
+    head, __, __ = text.partition(CRLF + CRLF)
+    lines = head.split(CRLF)
+    if not lines or not lines[0]:
+        return None
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        return None
+    method, path, version = parts
+    if method not in ("GET", "HEAD", "POST"):
+        return None
+    if not path.startswith("/"):
+        return None
+    if not version.startswith("HTTP/"):
+        return None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            return None
+        headers[name.strip().lower()] = value.strip()
+    return HttpRequest(method=method, path=path, version=version, headers=headers)
+
+
+def build_request(path: str, keep_alive: bool = False) -> bytes:
+    """An ``ab``-style GET request for ``path``."""
+    headers = [f"GET {path} HTTP/1.0", "Host: localhost",
+               "User-Agent: ApacheBench/2.3"]
+    if keep_alive:
+        headers.append("Connection: keep-alive")
+    return (CRLF.join(headers) + CRLF + CRLF).encode("ascii")
+
+
+def build_response(status: int, body: bytes, content_type: str = "text/html") -> bytes:
+    """Format an HTTP/1.0 response."""
+    reason = STATUS_TEXT.get(status, "Unknown")
+    head = (
+        f"HTTP/1.0 {status} {reason}{CRLF}"
+        f"Content-Type: {content_type}{CRLF}"
+        f"Content-Length: {len(body)}{CRLF}"
+        f"Server: repro-composite/1.0{CRLF}{CRLF}"
+    )
+    return head.encode("ascii") + body

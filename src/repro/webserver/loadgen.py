@@ -1,0 +1,164 @@
+"""``ab``-style load generator (Section V-E).
+
+"During each test, ab sends 50000 requests with a maximum of 10 requests
+concurrently to the server."  The generator runs as a thread in a
+*different* component than the server (requests arrive over the event
+manager's global descriptors, as network interrupts would), keeps at most
+``concurrency`` requests outstanding, and measures throughput in virtual
+time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.composite.scheduler import CYCLES_PER_US
+from repro.composite.thread import Invoke, Yield
+from repro.swifi.injector import SwifiController
+from repro.system import build_system
+from repro.webserver.http import build_request
+from repro.webserver.server import DEFAULT_SITE, WebServer
+
+#: Services cycled through by the fault-injection variant ("injecting
+#: faults into one system-level component every 10 seconds").
+FAULT_TARGET_CYCLE = ["ramfs", "lock", "event", "mm", "timer", "ramfs"]
+
+
+@dataclass
+class LoadResult:
+    """Measured outcome of one web-server run."""
+
+    requests: int
+    served: int
+    errors: int
+    duration_cycles: int
+    reboots: int
+    ft_mode: str
+    faults_injected: int = 0
+    #: (clock, served) progress samples.
+    series: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def duration_us(self) -> float:
+        return self.duration_cycles / CYCLES_PER_US
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per virtual second."""
+        if self.duration_cycles == 0:
+            return 0.0
+        return self.served / (self.duration_cycles / (CYCLES_PER_US * 1e6))
+
+    def dip_recovery_cycles(self, window: int = 50) -> Optional[int]:
+        """How long throughput stayed depressed after the worst dip.
+
+        Computes per-window inter-arrival gaps; returns the longest gap
+        (the recovery disturbance).  None if there were no samples.
+        """
+        if len(self.series) < 2:
+            return None
+        gaps = [
+            self.series[i + 1][0] - self.series[i][0]
+            for i in range(len(self.series) - 1)
+        ]
+        return max(gaps) if gaps else None
+
+
+class LoadGenerator:
+    """Drives a web server with a bounded-concurrency request stream."""
+
+    def __init__(
+        self,
+        n_requests: int = 2_000,
+        concurrency: int = 10,
+        client_home: str = "app1",
+    ):
+        self.n_requests = n_requests
+        self.concurrency = concurrency
+        self.client_home = client_home
+
+    def install(self, system, server: WebServer) -> None:
+        paths = itertools.cycle(sorted(DEFAULT_SITE))
+
+        def body(sys_, thread):
+            while server.evt_conn is None:
+                yield Yield()
+            sent = 0
+            while sent < self.n_requests:
+                if len(server.pending) >= self.concurrency:
+                    yield Yield()
+                    continue
+                server.submit(build_request("/" + next(paths)))
+                sent += 1
+                yield Invoke(
+                    "event", "evt_trigger", self.client_home, server.evt_conn
+                )
+            server.stop()
+            # Nudge any workers still parked on the connection event.
+            for __ in range(server.n_workers):
+                yield Invoke(
+                    "event", "evt_trigger", self.client_home, server.evt_conn
+                )
+
+        system.kernel.create_thread(
+            "loadgen", prio=5, home=self.client_home, body_factory=body
+        )
+
+
+def run_webserver(
+    ft_mode: str = "superglue",
+    n_requests: int = 2_000,
+    concurrency: int = 10,
+    n_workers: int = 2,
+    with_faults: bool = False,
+    n_faults: int = 6,
+    seed: int = 0,
+    max_steps: int = 5_000_000,
+) -> LoadResult:
+    """Build a system, serve ``n_requests``, and measure throughput.
+
+    With ``with_faults``, ``n_faults`` SEUs are spread across the run,
+    each targeting the next service in :data:`FAULT_TARGET_CYCLE` — the
+    paper's "one crash injected every 10 seconds into a different
+    system-level component", rescaled to the simulated run length.
+    """
+    system = build_system(ft_mode=ft_mode)
+    server = WebServer(system, home="app0", n_workers=n_workers)
+    server.install()
+    generator = LoadGenerator(
+        n_requests=n_requests, concurrency=concurrency, client_home="app1"
+    )
+    generator.install(system, server)
+
+    swifi = None
+    if with_faults:
+        swifi = SwifiController(system.kernel, seed=seed)
+        gap = max(n_requests // (n_faults + 1), 1)
+        targets = iter(
+            [FAULT_TARGET_CYCLE[i % len(FAULT_TARGET_CYCLE)] for i in range(n_faults)]
+        )
+        last_armed = {"served": 0}
+
+        def arm_on_progress(served: int) -> None:
+            if served - last_armed["served"] >= gap:
+                last_armed["served"] = served
+                target = next(targets, None)
+                if target is not None:
+                    swifi.arm(target, after_executions=0)
+
+        server.on_served = arm_on_progress
+
+    system.run(max_steps=max_steps)
+    end = server.samples[-1][0] if server.samples else system.kernel.clock.now
+    return LoadResult(
+        requests=n_requests,
+        served=server.served,
+        errors=server.errors,
+        duration_cycles=end,
+        reboots=system.booter.reboots,
+        ft_mode=ft_mode,
+        faults_injected=len(swifi.delivered) if swifi else 0,
+        series=server.samples,
+    )

@@ -1,0 +1,10 @@
+"""Benchmark workloads (Section V-B)."""
+
+from repro.workloads.microbench import (
+    WORKLOADS,
+    RunHandle,
+    Workload,
+    workload_for,
+)
+
+__all__ = ["WORKLOADS", "RunHandle", "Workload", "workload_for"]

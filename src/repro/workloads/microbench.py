@@ -1,0 +1,325 @@
+"""The six micro-benchmark workloads of Section V-B.
+
+* **Sched** — two threads ping-pong, blocking and waking each other with
+  ``sched_blk``/``sched_wakeup``.
+* **MM** — a thread is granted pages, aliases them into a different
+  component, then revokes them (removing all aliases).
+* **FS** — a file is opened, a byte written, read back, and closed.
+* **Lock** — one thread holds a lock another contends; release hands off.
+* **Event** — a thread blocks waiting for an event that another thread
+  triggers from a *different* component.
+* **Timer** — a thread wakes up, then blocks for a period, periodically.
+
+Each workload installs generator-bodied threads into a built system and
+returns a :class:`RunHandle` whose :meth:`RunHandle.check` verifies the
+run "abides by the workload specification" — the paper's criterion for a
+*successful* recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.composite.thread import Invoke, Yield
+
+
+@dataclass
+class RunHandle:
+    """Results and correctness checking for one installed workload run."""
+
+    workload: "Workload"
+    system: object
+    results: Dict[str, object] = field(default_factory=dict)
+    iterations: int = 3
+
+    def check(self) -> bool:
+        return self.workload.check(self.results, self.system, self.iterations)
+
+
+class Workload:
+    """Base class: named workload targeting one service."""
+
+    name = "?"
+    service = "?"
+
+    def install(self, system, iterations: int = 3) -> RunHandle:
+        handle = RunHandle(workload=self, system=system, iterations=iterations)
+        self._spawn(system, handle.results, iterations)
+        return handle
+
+    def _spawn(self, system, results, iterations) -> None:
+        raise NotImplementedError
+
+    def check(self, results, system, iterations) -> bool:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+class SchedWorkload(Workload):
+    name = "sched"
+    service = "sched"
+
+    def _spawn(self, system, results, iterations):
+        def ping(sys_, thread):
+            tid_a = yield Invoke("sched", "sched_register", "app0")
+            results["tid_a"] = tid_a
+            while "tid_b" not in results:
+                yield Yield()
+            tid_b = results["tid_b"]
+            for __ in range(iterations):
+                yield Invoke("sched", "sched_wakeup", "app0", tid_b)
+                yield Invoke("sched", "sched_blk", "app0", tid_a)
+                results["pings"] = results.get("pings", 0) + 1
+
+        def pong(sys_, thread):
+            tid_b = yield Invoke("sched", "sched_register", "app0")
+            results["tid_b"] = tid_b
+            while "tid_a" not in results:
+                yield Yield()
+            tid_a = results["tid_a"]
+            for __ in range(iterations):
+                yield Invoke("sched", "sched_blk", "app0", tid_b)
+                yield Invoke("sched", "sched_wakeup", "app0", tid_a)
+                results["pongs"] = results.get("pongs", 0) + 1
+
+        system.kernel.create_thread("ping", prio=5, home="app0", body_factory=ping)
+        system.kernel.create_thread("pong", prio=5, home="app0", body_factory=pong)
+
+    def check(self, results, system, iterations):
+        return (
+            results.get("pings") == iterations
+            and results.get("pongs") == iterations
+        )
+
+
+# ---------------------------------------------------------------------------
+class MMWorkload(Workload):
+    name = "mm"
+    service = "mm"
+
+    BASE_VA = 0x0040_0000
+    ALIAS_VA = 0x0080_0000
+    PAGE = 0x1000
+
+    def _spawn(self, system, results, iterations):
+        def body(sys_, thread):
+            done = 0
+            for i in range(iterations):
+                va = self.BASE_VA + i * self.PAGE
+                dst = self.ALIAS_VA + i * self.PAGE
+                got = yield Invoke("mm", "mman_get_page", "app0", va)
+                if got != va:
+                    results["error"] = f"get_page returned {got:#x}"
+                    return
+                aliased = yield Invoke(
+                    "mm", "mman_alias_page", "app0", va, "app1", dst
+                )
+                if aliased != dst:
+                    results["error"] = f"alias_page returned {aliased:#x}"
+                    return
+                released = yield Invoke("mm", "mman_release_page", "app0", va)
+                if released != 0:
+                    results["error"] = f"release_page returned {released}"
+                    return
+                done += 1
+                results["rounds"] = done
+
+        system.kernel.create_thread("mm-user", prio=5, home="app0", body_factory=body)
+
+    def check(self, results, system, iterations):
+        mm = system.kernel.component("mm")
+        return (
+            "error" not in results
+            and results.get("rounds") == iterations
+            and len(mm.mappings) == 0
+        )
+
+
+# ---------------------------------------------------------------------------
+class FSWorkload(Workload):
+    name = "fs"
+    service = "ramfs"
+
+    def _spawn(self, system, results, iterations):
+        def body(sys_, thread):
+            done = 0
+            for i in range(iterations):
+                fd = yield Invoke("ramfs", "tsplit", "app0", 1, f"bench{i}.dat")
+                payload = bytes([0x41 + (i % 26)])
+                wrote = yield Invoke("ramfs", "twrite", "app0", fd, payload)
+                if wrote != 1:
+                    results["error"] = f"twrite returned {wrote}"
+                    return
+                yield Invoke("ramfs", "tseek", "app0", fd, 0)
+                data = yield Invoke("ramfs", "tread", "app0", fd, 1)
+                if data != payload:
+                    results["error"] = f"tread returned {data!r} != {payload!r}"
+                    return
+                closed = yield Invoke("ramfs", "trelease", "app0", fd)
+                if closed != 0:
+                    results["error"] = f"trelease returned {closed}"
+                    return
+                done += 1
+                results["rounds"] = done
+
+        system.kernel.create_thread("fs-user", prio=5, home="app0", body_factory=body)
+
+    def check(self, results, system, iterations):
+        return "error" not in results and results.get("rounds") == iterations
+
+
+# ---------------------------------------------------------------------------
+class LockWorkload(Workload):
+    name = "lock"
+    service = "lock"
+
+    def _spawn(self, system, results, iterations):
+        def holder(sys_, thread):
+            lid = yield Invoke("lock", "lock_alloc", "app0")
+            results["lid"] = lid
+            for __ in range(iterations):
+                taken = yield Invoke("lock", "lock_take", "app0", lid)
+                if taken != 0:
+                    results["error"] = f"holder take returned {taken}"
+                    return
+                # Let the contender run and block on the lock.
+                yield Yield()
+                yield Yield()
+                released = yield Invoke("lock", "lock_release", "app0", lid)
+                if released != 0:
+                    results["error"] = f"holder release returned {released}"
+                    return
+                results["held"] = results.get("held", 0) + 1
+                # Let the contender acquire and release before next round.
+                yield Yield()
+                yield Yield()
+
+        def contender(sys_, thread):
+            while "lid" not in results:
+                yield Yield()
+            lid = results["lid"]
+            for __ in range(iterations):
+                taken = yield Invoke("lock", "lock_take", "app0", lid)
+                if taken != 0:
+                    results["error"] = f"contender take returned {taken}"
+                    return
+                released = yield Invoke("lock", "lock_release", "app0", lid)
+                if released != 0:
+                    results["error"] = f"contender release returned {released}"
+                    return
+                results["contended"] = results.get("contended", 0) + 1
+
+        system.kernel.create_thread(
+            "holder", prio=5, home="app0", body_factory=holder
+        )
+        system.kernel.create_thread(
+            "contender", prio=5, home="app0", body_factory=contender
+        )
+
+    def check(self, results, system, iterations):
+        return (
+            "error" not in results
+            and results.get("held") == iterations
+            and results.get("contended") == iterations
+        )
+
+
+# ---------------------------------------------------------------------------
+class EventWorkload(Workload):
+    name = "event"
+    service = "event"
+
+    def _spawn(self, system, results, iterations):
+        def waiter(sys_, thread):
+            evtid = yield Invoke("event", "evt_split", "app0", 0, 1)
+            results["evtid"] = evtid
+            for __ in range(iterations):
+                waited = yield Invoke("event", "evt_wait", "app0", evtid)
+                if waited != 0:
+                    results["error"] = f"evt_wait returned {waited}"
+                    return
+                results["waits"] = results.get("waits", 0) + 1
+            yield Invoke("event", "evt_free", "app0", evtid)
+            results["freed"] = True
+
+        def trigger(sys_, thread):
+            # Triggers come from a *different* component (global descriptor).
+            while "evtid" not in results:
+                yield Yield()
+            evtid = results["evtid"]
+            for __ in range(iterations):
+                triggered = yield Invoke("event", "evt_trigger", "app1", evtid)
+                if triggered != 0:
+                    results["error"] = f"evt_trigger returned {triggered}"
+                    return
+                results["triggers"] = results.get("triggers", 0) + 1
+                yield Yield()
+
+        system.kernel.create_thread(
+            "evt-wait", prio=5, home="app0", body_factory=waiter
+        )
+        system.kernel.create_thread(
+            "evt-trig", prio=5, home="app1", body_factory=trigger
+        )
+
+    def check(self, results, system, iterations):
+        return (
+            "error" not in results
+            and results.get("waits") == iterations
+            and results.get("triggers") == iterations
+        )
+
+
+# ---------------------------------------------------------------------------
+class TimerWorkload(Workload):
+    name = "timer"
+    service = "timer"
+
+    PERIOD = 5_000  # cycles
+
+    def _spawn(self, system, results, iterations):
+        def body(sys_, thread):
+            tmid = yield Invoke("timer", "timer_alloc", "app0", self.PERIOD)
+            results["tmid"] = tmid
+            for __ in range(iterations):
+                blocked = yield Invoke("timer", "timer_block", "app0", tmid)
+                if blocked != 0:
+                    results["error"] = f"timer_block returned {blocked}"
+                    return
+                results["wakes"] = results.get("wakes", 0) + 1
+            yield Invoke("timer", "timer_free", "app0", tmid)
+            results["freed"] = True
+
+        system.kernel.create_thread(
+            "periodic", prio=5, home="app0", body_factory=body
+        )
+
+    def check(self, results, system, iterations):
+        return (
+            "error" not in results
+            and results.get("wakes") == iterations
+            and results.get("freed") is True
+        )
+
+
+#: Registry keyed by the paper's workload names (Section V-B).
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in [
+        SchedWorkload(),
+        MMWorkload(),
+        FSWorkload(),
+        LockWorkload(),
+        EventWorkload(),
+        TimerWorkload(),
+    ]
+}
+
+
+def workload_for(service: str) -> Workload:
+    """The workload targeting ``service`` (by service component name)."""
+    for workload in WORKLOADS.values():
+        if workload.service == service:
+            return workload
+    raise KeyError(service)

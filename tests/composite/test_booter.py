@@ -1,0 +1,78 @@
+"""Tests for the booter and the recovery manager hand-off."""
+
+import pytest
+
+from repro.core.runtime.recovery import RecoveryManager
+from repro.errors import AssertionFault, ConfigurationError
+from repro.system import build_system
+
+
+def synthetic_fault():
+    return AssertionFault("synthetic", component="lock")
+
+
+class TestBooter:
+    def test_reboot_log_grows(self):
+        system = build_system(ft_mode="superglue")
+        lock = system.kernel.component("lock")
+        system.booter.handle_fault(lock, synthetic_fault())
+        assert system.booter.reboots == 1
+        clock, name, kind = system.booter.reboot_log[0]
+        assert name == "lock" and kind == "assertion"
+
+    def test_reboot_bumps_epoch_and_charges_time(self):
+        system = build_system(ft_mode="superglue")
+        lock = system.kernel.component("lock")
+        before = system.kernel.clock.now
+        system.booter.handle_fault(lock, synthetic_fault())
+        assert lock.reboot_epoch == 1
+        assert system.kernel.clock.now > before
+
+    def test_post_reboot_init_upcall(self):
+        system = build_system(ft_mode="superglue")
+        sched = system.kernel.component("sched")
+        thread = system.kernel.create_thread(
+            "t", prio=2, home="app0", body_factory=lambda s, t: iter(())
+        )
+        fault = AssertionFault("synthetic", component="sched")
+        system.booter.handle_fault(sched, fault)
+        # Reflection ran: the kernel thread is back in the sched table.
+        assert sched.is_registered(thread.tid)
+
+    def test_vector_fault_requires_booter_in_ft_mode(self):
+        from repro.composite.kernel import Kernel
+        from repro.composite.app import AppComponent
+
+        kernel = Kernel(ft_mode="superglue")
+        kernel.register_component(AppComponent("app0"))
+        with pytest.raises(ConfigurationError):
+            kernel.vector_fault(
+                kernel.component("app0"), synthetic_fault()
+            )
+
+
+class TestRecoveryManager:
+    def test_mode_validation(self):
+        system = build_system(ft_mode="superglue")
+        with pytest.raises(ConfigurationError):
+            RecoveryManager(system.kernel, mode="lazy-ish")
+
+    def test_reboot_events_recorded(self):
+        system = build_system(ft_mode="superglue")
+        lock = system.kernel.component("lock")
+        system.booter.handle_fault(lock, synthetic_fault())
+        events = system.recovery_manager.reboot_events
+        assert len(events) == 1
+        assert events[0][1] == "lock"
+
+    def test_mean_recovery_cycles_empty(self):
+        system = build_system(ft_mode="superglue")
+        assert system.recovery_manager.mean_recovery_cycles("lock") is None
+
+    def test_record_and_mean(self):
+        system = build_system(ft_mode="superglue")
+        manager = system.recovery_manager
+        manager.record_descriptor_recovery("lock", 100)
+        manager.record_descriptor_recovery("lock", 300)
+        assert manager.mean_recovery_cycles("lock") == 200
+        assert manager.total_recoveries == 2

@@ -1,0 +1,88 @@
+"""Unit tests for the zero-copy buffer manager."""
+
+import pytest
+
+from repro.composite.app import AppComponent
+from repro.composite.booter import Booter
+from repro.composite.cbuf import CbufManager
+from repro.composite.kernel import Kernel
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def setup():
+    kernel = Kernel()
+    kernel.register_component(AppComponent("app0"))
+    cbuf = CbufManager()
+    kernel.register_component(cbuf)
+    kernel.grant_all_caps()
+    Booter(kernel)
+    thread = kernel.create_thread(
+        "t", prio=1, home="app0", body_factory=lambda s, t: iter(())
+    )
+    return kernel, cbuf, thread
+
+
+class TestCbuf:
+    def test_alloc_ids_unique(self, setup):
+        __, cbuf, thread = setup
+        a = cbuf.cbuf_alloc(thread, "app0", 16)
+        b = cbuf.cbuf_alloc(thread, "app0", 16)
+        assert a != b
+
+    def test_owner_write_read(self, setup):
+        __, cbuf, thread = setup
+        cbid = cbuf.cbuf_alloc(thread, "app0", 8)
+        assert cbuf.cbuf_write(thread, "app0", cbid, 0, b"abc") == 3
+        assert cbuf.cbuf_read(thread, "app0", cbid, 0, 3) == b"abc"
+
+    def test_write_extends_buffer(self, setup):
+        __, cbuf, thread = setup
+        cbid = cbuf.cbuf_alloc(thread, "app0", 0)
+        cbuf.cbuf_write(thread, "app0", cbid, 4, b"xy")
+        assert cbuf.cbuf_size(thread, "app0", cbid) == 6
+
+    def test_nonowner_write_rejected(self, setup):
+        __, cbuf, thread = setup
+        cbid = cbuf.cbuf_alloc(thread, "app0", 8)
+        cbuf.cbuf_map(thread, "other", cbid)
+        with pytest.raises(ReproError):
+            cbuf.cbuf_write(thread, "other", cbid, 0, b"z")
+
+    def test_unmapped_read_rejected(self, setup):
+        __, cbuf, thread = setup
+        cbid = cbuf.cbuf_alloc(thread, "app0", 8)
+        with pytest.raises(ReproError):
+            cbuf.cbuf_read(thread, "stranger", cbid, 0, 1)
+
+    def test_mapped_reader_allowed(self, setup):
+        __, cbuf, thread = setup
+        cbid = cbuf.cbuf_alloc(thread, "app0", 8)
+        cbuf.cbuf_write(thread, "app0", cbid, 0, b"hi")
+        assert cbuf.cbuf_map(thread, "reader", cbid) == 0
+        assert cbuf.cbuf_read(thread, "reader", cbid, 0, 2) == b"hi"
+
+    def test_map_unknown_buffer(self, setup):
+        __, cbuf, thread = setup
+        assert cbuf.cbuf_map(thread, "app0", 999) == -1
+
+    def test_free_by_owner_only(self, setup):
+        __, cbuf, thread = setup
+        cbid = cbuf.cbuf_alloc(thread, "app0", 8)
+        assert cbuf.cbuf_free(thread, "other", cbid) == -1
+        assert cbuf.cbuf_free(thread, "app0", cbid) == 0
+        assert cbuf.cbuf_size(thread, "app0", cbid) == -1
+
+    def test_contents_survive_foreign_reboot(self, setup):
+        # Protected component: its reinit must not clear live buffers.
+        __, cbuf, thread = setup
+        cbid = cbuf.cbuf_alloc(thread, "app0", 4)
+        cbuf.cbuf_write(thread, "app0", cbid, 0, b"keep")
+        cbuf.reinit()
+        assert cbuf.cbuf_read(thread, "app0", cbid, 0, 4) == b"keep"
+
+    def test_charges_cycles(self, setup):
+        kernel, cbuf, thread = setup
+        before = kernel.clock.now
+        cbuf.cbuf_alloc(thread, "app0", 8)
+        assert kernel.clock.now > before

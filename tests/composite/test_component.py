@@ -1,0 +1,133 @@
+"""Unit tests for the component base class."""
+
+import pytest
+
+from repro.composite.app import AppComponent
+from repro.composite.booter import Booter
+from repro.composite.component import Component, export
+from repro.composite.kernel import Kernel
+from repro.composite.machine import EAX, Trace, TraceResult
+from repro.errors import AssertionFault, CapabilityError, PropagatedFault, ReproError
+
+
+class Tiny(Component):
+    def __init__(self):
+        super().__init__("tiny")
+        self.state = None
+
+    def reinit(self):
+        self.state = {"fresh": True}
+
+    @export
+    def ping(self, thread):
+        return "pong"
+
+    def hidden(self, thread):
+        return "secret"
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel()
+    k.register_component(AppComponent("app0"))
+    k.register_component(Tiny())
+    k.grant_all_caps()
+    Booter(k)
+    return k
+
+
+class TestExports:
+    def test_exported_function_listed(self, kernel):
+        assert "ping" in kernel.component("tiny").exports
+
+    def test_unexported_function_not_listed(self, kernel):
+        assert "hidden" not in kernel.component("tiny").exports
+
+    def test_dispatch_checks_exports(self, kernel):
+        tiny = kernel.component("tiny")
+        with pytest.raises(CapabilityError):
+            tiny.dispatch("hidden", None, ())
+
+    def test_dispatch_calls_method(self, kernel):
+        assert kernel.component("tiny").dispatch("ping", None, ()) == "pong"
+
+
+class TestLifecycle:
+    def test_attach_initialises_state_and_image(self, kernel):
+        tiny = kernel.component("tiny")
+        assert tiny.state == {"fresh": True}
+        assert tiny.image is not None
+
+    def test_micro_reboot_resets(self, kernel):
+        tiny = kernel.component("tiny")
+        tiny.state["fresh"] = False
+        tiny.image.write_word(tiny.image.base + 20, 99)
+        cost = tiny.micro_reboot()
+        assert cost > 0
+        assert tiny.state == {"fresh": True}
+        assert tiny.image.read_word(tiny.image.base + 20) == 0
+        assert tiny.reboot_epoch == 1
+
+    def test_require_image_before_attach(self):
+        with pytest.raises(ReproError):
+            Tiny().require_image()
+
+    def test_repr(self, kernel):
+        assert "tiny" in repr(kernel.component("tiny"))
+
+
+class TestExecute:
+    def test_execute_charges_thread(self, kernel):
+        tiny = kernel.component("tiny")
+        thread = kernel.create_thread(
+            "t", prio=1, home="app0", body_factory=lambda s, t: iter(())
+        )
+        trace = Trace().li(EAX, 7).ret(EAX)
+        result = tiny.execute(thread, trace)
+        assert result.value == 7
+        assert thread.cycles > 0
+
+    def test_execute_applies_entry_regs(self, kernel):
+        tiny = kernel.component("tiny")
+        thread = kernel.create_thread(
+            "t", prio=1, home="app0", body_factory=lambda s, t: iter(())
+        )
+        trace = Trace().ret(EAX)
+        trace.entry_regs = {EAX: 123}
+        assert tiny.execute(thread, trace).value == 123
+
+
+class TestCheckReturn:
+    def test_clean_value_passes(self, kernel):
+        tiny = kernel.component("tiny")
+        result = TraceResult(5, tainted=False, cycles=1, stores_tainted=0)
+        assert tiny.check_return(result, lambda v: True) == 5
+
+    def test_tainted_plausible_propagates(self, kernel):
+        tiny = kernel.component("tiny")
+        result = TraceResult(5, tainted=True, cycles=1, stores_tainted=0)
+        with pytest.raises(PropagatedFault):
+            tiny.check_return(result, lambda v: True)
+
+    def test_tainted_implausible_caught_at_boundary(self, kernel):
+        tiny = kernel.component("tiny")
+        result = TraceResult(5, tainted=True, cycles=1, stores_tainted=0)
+        with pytest.raises(AssertionFault) as excinfo:
+            tiny.check_return(result, lambda v: False)
+        assert excinfo.value.recoverable
+
+
+class TestAppComponent:
+    def test_register_handler_dispatch(self, kernel):
+        app = kernel.component("app0")
+        app.register_handler("h", lambda thread, x: x * 2)
+        assert app.dispatch("h", None, (21,)) == 42
+
+    def test_handlers_listing(self, kernel):
+        app = kernel.component("app0")
+        app.register_handler("h", lambda thread: None)
+        assert "h" in app.handlers
+
+    def test_unknown_handler_falls_through(self, kernel):
+        with pytest.raises(CapabilityError):
+            kernel.component("app0").dispatch("nope", None, ())

@@ -1,0 +1,323 @@
+"""Unit tests for the kernel: invocation, blocking, faults, run loop."""
+
+import pytest
+
+from repro.composite.app import AppComponent
+from repro.composite.booter import Booter
+from repro.composite.component import Component, export
+from repro.composite.kernel import FAULT, Kernel
+from repro.composite.thread import Invoke, ThreadState, Yield
+from repro.errors import (
+    AssertionFault,
+    BlockThread,
+    CapabilityError,
+    ConfigurationError,
+    SimulatedFault,
+    SystemHang,
+)
+
+
+class EchoService(Component):
+    """Minimal test service."""
+
+    def __init__(self):
+        super().__init__("echo")
+        self.calls = []
+
+    def reinit(self):
+        self.calls = []
+
+    @export
+    def echo(self, thread, value):
+        self.calls.append(value)
+        return value
+
+    @export
+    def boom(self, thread):
+        raise AssertionFault("synthetic", component=self.name)
+
+    @export
+    def park(self, thread, token):
+        raise BlockThread(self.name, token, on_wake=lambda t, tok, to: "woken")
+
+    @export
+    def park_timeout(self, thread, token, expiry):
+        raise BlockThread(
+            self.name, token, timeout=expiry,
+            on_wake=lambda t, tok, timed_out: "timeout" if timed_out else "woken",
+        )
+
+    @export
+    def wake(self, thread, token):
+        return self.kernel.wake_token(self.name, token)
+
+
+def make_kernel(ft_mode="superglue"):
+    kernel = Kernel(ft_mode=ft_mode)
+    kernel.register_component(AppComponent("app0"))
+    kernel.register_component(EchoService())
+    kernel.grant_all_caps()
+    Booter(kernel)
+    return kernel
+
+
+class TestConfiguration:
+    def test_unknown_ft_mode(self):
+        with pytest.raises(ConfigurationError):
+            Kernel(ft_mode="bogus")
+
+    def test_duplicate_component(self):
+        kernel = Kernel()
+        kernel.register_component(AppComponent("a"))
+        with pytest.raises(ConfigurationError):
+            kernel.register_component(AppComponent("a"))
+
+    def test_unknown_component_lookup(self):
+        with pytest.raises(ConfigurationError):
+            Kernel().component("nope")
+
+    def test_images_do_not_overlap(self):
+        kernel = Kernel()
+        kernel.register_component(AppComponent("a"))
+        kernel.register_component(AppComponent("b"))
+        a = kernel.component("a").image
+        b = kernel.component("b").image
+        assert a.base + a.size <= b.base or b.base + b.size <= a.base
+
+
+class TestInvocation:
+    def test_basic_invoke(self):
+        kernel = make_kernel()
+        results = []
+
+        def body(system, thread):
+            results.append((yield Invoke("echo", "echo", 41)))
+
+        kernel.create_thread("t", prio=1, home="app0", body_factory=body)
+        kernel.run()
+        assert results == [41]
+
+    def test_capability_denied(self):
+        kernel = Kernel()
+        kernel.register_component(AppComponent("app0"))
+        kernel.register_component(EchoService())
+        Booter(kernel)  # no caps granted
+
+        def body(system, thread):
+            yield Invoke("echo", "echo", 1)
+
+        kernel.create_thread("t", prio=1, home="app0", body_factory=body)
+        with pytest.raises(CapabilityError):
+            kernel.run()
+
+    def test_invocation_charges_cycles(self):
+        kernel = make_kernel()
+
+        def body(system, thread):
+            yield Invoke("echo", "echo", 1)
+
+        kernel.create_thread("t", prio=1, home="app0", body_factory=body)
+        kernel.run()
+        assert kernel.clock.now > 0
+        assert kernel.stats["invocations"] == 1
+
+    def test_unknown_fn_raises(self):
+        kernel = make_kernel()
+
+        def body(system, thread):
+            yield Invoke("echo", "nonexistent")
+
+        kernel.create_thread("t", prio=1, home="app0", body_factory=body)
+        with pytest.raises(CapabilityError):
+            kernel.run()
+
+    def test_yield_action(self):
+        kernel = make_kernel()
+        order = []
+
+        def body_a(system, thread):
+            order.append("a1")
+            yield Yield()
+            order.append("a2")
+
+        def body_b(system, thread):
+            order.append("b1")
+            yield Yield()
+            order.append("b2")
+
+        kernel.create_thread("a", prio=1, home="app0", body_factory=body_a)
+        kernel.create_thread("b", prio=1, home="app0", body_factory=body_b)
+        kernel.run()
+        assert sorted(order) == ["a1", "a2", "b1", "b2"]
+
+
+class TestBlocking:
+    def test_block_and_wake(self):
+        kernel = make_kernel()
+        results = {}
+
+        def sleeper(system, thread):
+            results["slept"] = yield Invoke("echo", "park", "tok")
+
+        def waker(system, thread):
+            yield Yield()  # let the sleeper block first
+            results["woken_count"] = yield Invoke("echo", "wake", "tok")
+
+        kernel.create_thread("s", prio=5, home="app0", body_factory=sleeper)
+        kernel.create_thread("w", prio=5, home="app0", body_factory=waker)
+        kernel.run()
+        assert results["slept"] == "woken"
+        assert results["woken_count"] == 1
+
+    def test_block_timeout_fires(self):
+        kernel = make_kernel()
+        results = {}
+
+        def sleeper(system, thread):
+            results["value"] = yield Invoke(
+                "echo", "park_timeout", "tok", 5_000
+            )
+
+        kernel.create_thread("s", prio=5, home="app0", body_factory=sleeper)
+        kernel.run()
+        assert results["value"] == "timeout"
+        assert kernel.clock.now >= 5_000
+
+    def test_deadlock_detected(self):
+        kernel = make_kernel()
+
+        def sleeper(system, thread):
+            yield Invoke("echo", "park", "never")
+
+        kernel.create_thread("s", prio=5, home="app0", body_factory=sleeper)
+        with pytest.raises(SystemHang):
+            kernel.run()
+
+    def test_blocked_threads_in(self):
+        kernel = make_kernel()
+
+        def sleeper(system, thread):
+            yield Invoke("echo", "park", "tok")
+
+        kernel.create_thread("s", prio=5, home="app0", body_factory=sleeper)
+        try:
+            kernel.run()
+        except SystemHang:
+            pass
+        assert len(kernel.blocked_threads_in("echo")) == 1
+
+    def test_wake_all_in_redo(self):
+        kernel = make_kernel()
+        attempts = []
+
+        def sleeper(system, thread):
+            attempts.append("call")
+            yield Invoke("echo", "park", "tok")
+
+        kernel.create_thread("s", prio=5, home="app0", body_factory=sleeper)
+        try:
+            kernel.run(max_steps=3)
+        except SystemHang:
+            pass
+        woken = kernel.wake_all_in("echo", redo=True)
+        assert woken == 1
+        thread = next(iter(kernel.threads.values()))
+        assert thread.pending[0] == "redo"
+
+
+class TestFaults:
+    def test_fault_vectors_to_booter_and_returns_fault(self):
+        kernel = make_kernel(ft_mode="superglue")
+        echo = kernel.component("echo")
+
+        def body(system, thread):
+            yield Invoke("echo", "echo", 1)
+
+        thread = kernel.create_thread("t", prio=1, home="app0", body_factory=body)
+        result = kernel.raw_invoke(thread, "echo", "boom", ())
+        assert result is FAULT
+        assert echo.reboot_epoch == 1
+        assert kernel.stats["micro_reboots"] == 1
+
+    def test_fault_in_none_mode_is_fatal(self):
+        kernel = make_kernel(ft_mode="none")
+
+        def body(system, thread):
+            yield Invoke("echo", "boom")
+
+        kernel.create_thread("t", prio=1, home="app0", body_factory=body)
+        kernel.run()
+        assert kernel.crashed is not None
+        thread = next(iter(kernel.threads.values()))
+        assert thread.state is ThreadState.CRASHED
+
+    def test_reboot_resets_component_state(self):
+        kernel = make_kernel()
+        echo = kernel.component("echo")
+
+        def body(system, thread):
+            yield Invoke("echo", "echo", 1)
+            yield Invoke("echo", "boom")
+
+        kernel.create_thread("t", prio=1, home="app0", body_factory=body)
+        kernel.run(max_steps=5)
+        assert echo.calls == []  # reinit cleared them
+
+    def test_fault_observer_called(self):
+        kernel = make_kernel()
+        seen = []
+        kernel.fault_observers.append(lambda comp, fault: seen.append(comp.name))
+        thread = kernel.create_thread(
+            "t", prio=1, home="app0", body_factory=lambda s, t: iter(())
+        )
+        kernel.raw_invoke(thread, "echo", "boom", ())
+        assert seen == ["echo"]
+
+
+class TestReflection:
+    def test_reflect_threads(self):
+        kernel = make_kernel()
+        kernel.create_thread("t1", prio=3, home="app0",
+                             body_factory=lambda s, t: iter(()))
+        info = kernel.reflect_threads()
+        assert len(info) == 1
+        assert info[0]["prio"] == 3
+        assert info[0]["state"] == "ready"
+
+
+class TestUpcalls:
+    def test_upcall_into_app_component(self):
+        kernel = make_kernel()
+        app = kernel.component("app0")
+        seen = []
+        app.register_handler("notify", lambda thread, value: seen.append(value))
+        thread = kernel.create_thread(
+            "t", prio=1, home="app0", body_factory=lambda s, t: iter(())
+        )
+        kernel.upcall(thread, "app0", "notify", 42)
+        assert seen == [42]
+        assert kernel.stats["upcalls"] == 1
+
+
+class TestRunLoop:
+    def test_max_cycles_budget(self):
+        kernel = make_kernel()
+
+        def body(system, thread):
+            while True:
+                yield Invoke("echo", "echo", 1)
+
+        kernel.create_thread("t", prio=1, home="app0", body_factory=body)
+        kernel.run(max_cycles=5_000)
+        assert kernel.clock.now >= 5_000
+
+    def test_max_steps_budget(self):
+        kernel = make_kernel()
+
+        def body(system, thread):
+            while True:
+                yield Yield()
+
+        kernel.create_thread("t", prio=1, home="app0", body_factory=body)
+        steps = kernel.run(max_steps=10)
+        assert steps == 10

@@ -1,0 +1,305 @@
+"""Unit tests for the simulated machine: registers, micro-ops, injection."""
+
+import pytest
+
+from repro.composite.machine import (
+    EAX,
+    EBP,
+    EBX,
+    ECX,
+    EDX,
+    EDI,
+    ESI,
+    ESP,
+    GP_REGS,
+    HANG_LIMIT,
+    NUM_REGS,
+    REG_NAMES,
+    WORD_MASK,
+    Injection,
+    RegisterFile,
+    Trace,
+    execute_trace,
+)
+from repro.composite.memory import MemoryImage
+from repro.errors import (
+    AssertionFault,
+    CorruptionDetected,
+    SegmentationFault,
+    SystemCrash,
+    SystemHang,
+)
+
+BASE = 0x0100_0000
+
+
+@pytest.fixture
+def memory():
+    return MemoryImage(BASE, 4096)
+
+
+@pytest.fixture
+def regs():
+    r = RegisterFile()
+    r.write(ESP, BASE + 4096)
+    r.write(EBP, BASE + 4096)
+    return r
+
+
+class TestRegisterFile:
+    def test_initial_state(self):
+        r = RegisterFile()
+        assert r.values == [0] * NUM_REGS
+        assert not any(r.taint)
+
+    def test_write_masks_to_32_bits(self):
+        r = RegisterFile()
+        r.write(EAX, 0x1_FFFF_FFFF)
+        assert r.read(EAX) == 0xFFFF_FFFF
+
+    def test_flip_bit_changes_value_and_taints(self):
+        r = RegisterFile()
+        r.write(EBX, 0b1000)
+        r.flip_bit(EBX, 3)
+        assert r.read(EBX) == 0
+        assert r.taint[EBX]
+
+    def test_flip_bit_is_involutive(self):
+        r = RegisterFile()
+        r.write(ECX, 12345)
+        r.flip_bit(ECX, 7)
+        r.flip_bit(ECX, 7)
+        assert r.read(ECX) == 12345
+
+    def test_clear_taint(self):
+        r = RegisterFile()
+        r.flip_bit(EAX, 0)
+        r.clear_taint()
+        assert not any(r.taint)
+
+    def test_snapshot(self):
+        r = RegisterFile()
+        r.write(EDX, 7)
+        snap = r.snapshot()
+        r.write(EDX, 9)
+        assert snap[EDX] == 7
+
+    def test_register_names(self):
+        assert len(REG_NAMES) == NUM_REGS
+        assert REG_NAMES[ESP] == "ESP"
+        assert len(GP_REGS) == 6
+
+
+class TestBasicOps:
+    def test_li_and_ret(self, regs, memory):
+        trace = Trace().li(EAX, 42).ret(EAX)
+        result = execute_trace(trace, regs, memory)
+        assert result.value == 42
+        assert not result.tainted
+
+    def test_mov_copies_value(self, regs, memory):
+        trace = Trace().li(EBX, 7).mov(EAX, EBX).ret(EAX)
+        assert execute_trace(trace, regs, memory).value == 7
+
+    def test_store_and_load(self, regs, memory):
+        addr = memory.alloc(4)
+        trace = (
+            Trace()
+            .li(EAX, addr)
+            .li(EBX, 0xDEAD)
+            .st(EBX, EAX, 2)
+            .ld(ECX, EAX, 2)
+            .ret(ECX)
+        )
+        assert execute_trace(trace, regs, memory).value == 0xDEAD
+        assert memory.read_word(addr + 2) == 0xDEAD
+
+    def test_add_and_addi(self, regs, memory):
+        trace = Trace().li(EAX, 10).li(EBX, 5).add(EAX, EBX).addi(EAX, 3).ret(EAX)
+        assert execute_trace(trace, regs, memory).value == 18
+
+    def test_add_wraps_32_bits(self, regs, memory):
+        trace = Trace().li(EAX, WORD_MASK).addi(EAX, 2).ret(EAX)
+        assert execute_trace(trace, regs, memory).value == 1
+
+    def test_xor(self, regs, memory):
+        trace = Trace().li(EAX, 0b1100).li(EBX, 0b1010).xor(EAX, EBX).ret(EAX)
+        assert execute_trace(trace, regs, memory).value == 0b0110
+
+    def test_push_pop_roundtrip(self, regs, memory):
+        trace = Trace().li(EAX, 99).push(EAX).li(EAX, 0).pop(EBX).ret(EBX)
+        assert execute_trace(trace, regs, memory).value == 99
+
+    def test_prologue_epilogue_balance(self, regs, memory):
+        trace = Trace().prologue().li(EAX, 5).epilogue(EAX)
+        result = execute_trace(trace, regs, memory)
+        assert result.value == 5
+        assert regs.read(ESP) == BASE + 4096
+
+    def test_cycles_accumulate(self, regs, memory):
+        trace = Trace().li(EAX, 1).li(EBX, 2).ret(EAX)
+        result = execute_trace(trace, regs, memory)
+        assert result.cycles == 1 + 1 + 1
+
+    def test_loop_charges_per_iteration(self, regs, memory):
+        trace = Trace().li(ESI, 10).loop(ESI, 4).ret(EAX)
+        result = execute_trace(trace, regs, memory)
+        assert result.cycles >= 10 * 4
+
+    def test_ret_stops_execution(self, regs, memory):
+        trace = Trace().li(EAX, 1).ret(EAX).li(EAX, 2)
+        assert execute_trace(trace, regs, memory).value == 1
+
+    def test_entry_regs_attribute(self):
+        trace = Trace()
+        trace.entry_regs = {EAX: 5}
+        assert trace.entry_regs[EAX] == 5
+
+
+class TestChecks:
+    def test_chk_passes_on_magic(self, regs, memory):
+        addr = memory.alloc_record(0xFEED, 2)
+        trace = Trace().li(EAX, addr).chk(EAX, 0, 0xFEED).ret(EAX)
+        execute_trace(trace, regs, memory)
+
+    def test_chk_raises_on_corruption(self, regs, memory):
+        addr = memory.alloc_record(0xFEED, 2)
+        memory.corrupt_word(addr, 0xBAD)
+        trace = Trace().li(EAX, addr).chk(EAX, 0, 0xFEED)
+        with pytest.raises(CorruptionDetected):
+            execute_trace(trace, regs, memory, component_name="svc")
+
+    def test_assert_eq_passes(self, regs, memory):
+        trace = Trace().li(EAX, 5).assert_eq(EAX, 5).ret(EAX)
+        execute_trace(trace, regs, memory)
+
+    def test_assert_eq_fails(self, regs, memory):
+        trace = Trace().li(EAX, 5).assert_eq(EAX, 6)
+        with pytest.raises(AssertionFault):
+            execute_trace(trace, regs, memory)
+
+    def test_assert_range(self, regs, memory):
+        trace = Trace().li(EAX, 5).assert_range(EAX, 1, 10).ret(EAX)
+        execute_trace(trace, regs, memory)
+        bad = Trace().li(EAX, 50).assert_range(EAX, 1, 10)
+        with pytest.raises(AssertionFault):
+            execute_trace(bad, regs, memory)
+
+    def test_fault_carries_component_name(self, regs, memory):
+        trace = Trace().li(EAX, 5).assert_eq(EAX, 6)
+        with pytest.raises(AssertionFault) as excinfo:
+            execute_trace(trace, regs, memory, component_name="lock")
+        assert excinfo.value.component == "lock"
+        assert excinfo.value.recoverable
+
+
+class TestMemoryFaults:
+    def test_load_out_of_bounds_segfaults(self, regs, memory):
+        trace = Trace().li(EAX, 0xDEAD0000).ld(EBX, EAX, 0)
+        with pytest.raises(SegmentationFault):
+            execute_trace(trace, regs, memory)
+
+    def test_store_out_of_bounds_segfaults(self, regs, memory):
+        trace = Trace().li(EAX, 0xDEAD0000).li(EBX, 1).st(EBX, EAX, 0)
+        with pytest.raises(SegmentationFault):
+            execute_trace(trace, regs, memory)
+
+    def test_untainted_stack_fault_is_recoverable_segfault(self, regs, memory):
+        # A wrong (but untainted) ESP is a plain recoverable segfault.
+        regs.write(ESP, 0x5)
+        trace = Trace().push(EAX)
+        with pytest.raises(SegmentationFault) as excinfo:
+            execute_trace(trace, regs, memory)
+        assert excinfo.value.recoverable
+
+    def test_tainted_stack_access_is_system_crash(self, regs, memory):
+        trace = Trace().push(EAX)
+        injection = Injection(reg=ESP, bit=31, op_index=0)
+        with pytest.raises(SystemCrash) as excinfo:
+            execute_trace(trace, regs, memory, injection=injection)
+        assert not excinfo.value.recoverable
+
+
+class TestHang:
+    def test_huge_loop_bound_hangs(self, regs, memory):
+        trace = Trace().li(ESI, HANG_LIMIT + 1).loop(ESI)
+        with pytest.raises(SystemHang) as excinfo:
+            execute_trace(trace, regs, memory)
+        assert not excinfo.value.recoverable
+
+    def test_loop_at_limit_ok(self, regs, memory):
+        trace = Trace().li(ESI, 100).loop(ESI).ret(EAX)
+        execute_trace(trace, regs, memory)
+
+
+class TestInjection:
+    def test_injection_applies_at_op_index(self, regs, memory):
+        # Flip bit 0 of EAX after it is loaded with 4: value becomes 5.
+        trace = Trace().li(EAX, 4).ret(EAX)
+        injection = Injection(reg=EAX, bit=0, op_index=1)
+        result = execute_trace(trace, regs, memory, injection=injection)
+        assert result.value == 5
+        assert result.tainted
+        assert injection.applied
+
+    def test_injection_before_overwrite_is_dead(self, regs, memory):
+        # Flip happens before the li overwrites the register: no effect.
+        trace = Trace().li(EAX, 4).ret(EAX)
+        injection = Injection(reg=EAX, bit=0, op_index=0)
+        result = execute_trace(trace, regs, memory, injection=injection)
+        assert result.value == 4
+        assert not result.tainted
+
+    def test_taint_propagates_through_mov_and_add(self, regs, memory):
+        trace = (
+            Trace().li(EAX, 1).li(EBX, 2).mov(ECX, EAX).add(ECX, EBX).ret(ECX)
+        )
+        injection = Injection(reg=EAX, bit=4, op_index=2)
+        result = execute_trace(trace, regs, memory, injection=injection)
+        assert result.tainted
+
+    def test_tainted_store_marks_memory(self, regs, memory):
+        addr = memory.alloc(2)
+        trace = Trace().li(EAX, addr).li(EBX, 1).st(EBX, EAX, 0).ret(EAX)
+        injection = Injection(reg=EBX, bit=2, op_index=2)
+        result = execute_trace(trace, regs, memory, injection=injection)
+        assert result.stores_tainted == 1
+        assert memory.is_tainted(addr)
+
+    def test_tainted_load_propagates_from_memory(self, regs, memory):
+        addr = memory.alloc(2)
+        memory.write_word(addr, 7, tainted=True)
+        trace = Trace().li(EAX, addr).ld(EBX, EAX, 0).ret(EBX)
+        result = execute_trace(trace, regs, memory)
+        assert result.tainted
+
+    def test_high_bit_address_flip_segfaults(self, regs, memory):
+        addr = memory.alloc(2)
+        trace = Trace().li(EAX, addr).ld(EBX, EAX, 0).ret(EBX)
+        injection = Injection(reg=EAX, bit=30, op_index=1)
+        with pytest.raises(SegmentationFault):
+            execute_trace(trace, regs, memory, injection=injection)
+
+    def test_corrupted_loop_counter_hangs(self, regs, memory):
+        trace = Trace().li(ESI, 4).loop(ESI).ret(EAX)
+        injection = Injection(reg=ESI, bit=31, op_index=1)
+        with pytest.raises(SystemHang):
+            execute_trace(trace, regs, memory, injection=injection)
+
+    def test_injection_clamped_to_trace_length(self, regs, memory):
+        trace = Trace().li(EAX, 1).ret(EAX)
+        injection = Injection(reg=EAX, bit=0, op_index=99)
+        execute_trace(trace, regs, memory, injection=injection)
+        assert injection.applied
+
+    def test_applied_injection_not_reapplied(self, regs, memory):
+        trace = Trace().li(EAX, 4).ret(EAX)
+        injection = Injection(reg=EAX, bit=0, op_index=1)
+        execute_trace(trace, regs, memory, injection=injection)
+        # Second execution must not flip again.
+        result = execute_trace(trace, regs, memory, injection=injection)
+        assert result.value == 4
+
+    def test_repr(self):
+        injection = Injection(reg=EAX, bit=3, op_index=2)
+        assert "EAX" in repr(injection)

@@ -1,0 +1,92 @@
+"""Additional machine-level edge cases."""
+
+import pytest
+
+from repro.composite.machine import (
+    EAX,
+    EBP,
+    EBX,
+    ESP,
+    Injection,
+    RegisterFile,
+    Trace,
+    execute_trace,
+)
+from repro.composite.memory import MemoryImage
+from repro.errors import SegmentationFault
+
+BASE = 0x0400_0000
+
+
+@pytest.fixture
+def memory():
+    return MemoryImage(BASE, 4096)
+
+
+@pytest.fixture
+def regs():
+    r = RegisterFile()
+    r.write(ESP, BASE + 4096)
+    r.write(EBP, BASE + 4096)
+    return r
+
+
+class TestStackSemantics:
+    def test_first_push_lands_below_stack_top(self, regs, memory):
+        trace = Trace().li(EAX, 7).push(EAX).ret(EAX)
+        execute_trace(trace, regs, memory)
+        assert memory.read_word(BASE + 4095) == 7
+        assert regs.read(ESP) == BASE + 4095
+
+    def test_pop_taints_from_tainted_stack_slot(self, regs, memory):
+        memory.write_word(BASE + 4095, 99, tainted=True)
+        regs.write(ESP, BASE + 4095)
+        trace = Trace().pop(EBX).ret(EBX)
+        result = execute_trace(trace, regs, memory)
+        assert result.value == 99
+        assert result.tainted
+
+    def test_leave_restores_esp_from_ebp(self, regs, memory):
+        # Unbalanced pushes inside the body are cleaned up by the
+        # epilogue's mov ESP, EBP.
+        trace = (
+            Trace().prologue()
+            .li(EAX, 1).push(EAX).push(EAX).push(EAX)
+            .epilogue(EAX)
+        )
+        execute_trace(trace, regs, memory)
+        assert regs.read(ESP) == BASE + 4096
+
+    def test_stack_overflow_detected(self, regs, memory):
+        regs.write(ESP, BASE + 1)
+        trace = Trace().li(EAX, 1).push(EAX).push(EAX)
+        with pytest.raises(SegmentationFault):
+            execute_trace(trace, regs, memory)
+
+
+class TestEntryRegs:
+    def test_entry_regs_visible_from_first_op(self, regs, memory):
+        trace = Trace().assert_range(EBX, 5, 5).ret(EBX)
+        # entry_regs are applied by Component.execute; emulate here.
+        regs.write(EBX, 5)
+        assert execute_trace(trace, regs, memory).value == 5
+
+    def test_injection_into_entry_value_caught_by_entry_assert(
+        self, regs, memory
+    ):
+        regs.write(EBX, 5)
+        trace = Trace().assert_range(EBX, 5, 5).ret(EBX)
+        injection = Injection(reg=EBX, bit=1, op_index=0)
+        from repro.errors import AssertionFault
+
+        with pytest.raises(AssertionFault):
+            execute_trace(trace, regs, memory, injection=injection)
+
+
+class TestTraceBuilderChaining:
+    def test_builders_return_self(self):
+        trace = Trace().li(EAX, 1).mov(EBX, EAX).add(EAX, EBX).ret(EAX)
+        assert len(trace) == 4
+
+    def test_label_kept(self):
+        assert Trace("mylabel").label == "mylabel"

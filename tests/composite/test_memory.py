@@ -1,0 +1,132 @@
+"""Unit tests for per-component memory images."""
+
+import pytest
+
+from repro.composite.memory import DEFAULT_IMAGE_WORDS, STACK_WORDS, MemoryImage
+from repro.errors import ReproError
+
+BASE = 0x0200_0000
+
+
+@pytest.fixture
+def image():
+    return MemoryImage(BASE, 4096)
+
+
+class TestBounds:
+    def test_contains_inside(self, image):
+        assert image.contains(BASE)
+        assert image.contains(BASE + 4095)
+
+    def test_contains_outside(self, image):
+        assert not image.contains(BASE - 1)
+        assert not image.contains(BASE + 4096)
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ReproError):
+            MemoryImage(BASE + 1)
+
+    def test_default_size(self):
+        image = MemoryImage(BASE)
+        assert image.size == DEFAULT_IMAGE_WORDS
+
+    def test_stack_region(self, image):
+        assert image.stack_top == BASE + 4096
+        assert image.stack_base == BASE + 4096 - STACK_WORDS
+
+
+class TestReadWrite:
+    def test_roundtrip(self, image):
+        image.write_word(BASE + 10, 0xABCD)
+        assert image.read_word(BASE + 10) == 0xABCD
+
+    def test_write_masks(self, image):
+        image.write_word(BASE, 0x1_0000_0001)
+        assert image.read_word(BASE) == 1
+
+    def test_taint_set_and_cleared(self, image):
+        image.write_word(BASE + 5, 1, tainted=True)
+        assert image.is_tainted(BASE + 5)
+        image.write_word(BASE + 5, 2)
+        assert not image.is_tainted(BASE + 5)
+
+
+class TestAllocation:
+    def test_alloc_distinct(self, image):
+        a = image.alloc(4)
+        b = image.alloc(4)
+        assert a != b
+        assert image.contains(a) and image.contains(b)
+
+    def test_alloc_reserves_header(self, image):
+        assert image.alloc(1) >= BASE + 16
+
+    def test_free_reuses(self, image):
+        a = image.alloc(4)
+        image.free(a, 4)
+        assert image.alloc(4) == a
+
+    def test_free_zeroes(self, image):
+        a = image.alloc(2)
+        image.write_word(a, 7)
+        image.free(a, 2)
+        assert image.read_word(a) == 0
+
+    def test_alloc_record_writes_magic(self, image):
+        addr = image.alloc_record(0xFACE, 3)
+        assert image.read_word(addr) == 0xFACE
+
+    def test_heap_exhaustion(self, image):
+        with pytest.raises(ReproError):
+            image.alloc(image.size)
+
+    def test_alloc_never_overlaps_stack(self, image):
+        last = None
+        try:
+            while True:
+                last = image.alloc(64)
+        except ReproError:
+            pass
+        assert last is not None
+        assert last + 64 <= image.stack_base
+
+
+class TestMicroReboot:
+    def test_reboot_without_snapshot_fails(self, image):
+        with pytest.raises(ReproError):
+            image.micro_reboot()
+
+    def test_reboot_restores_words(self, image):
+        image.write_word(BASE + 100, 0x1111)
+        image.freeze_good_image()
+        image.write_word(BASE + 100, 0x2222)
+        image.micro_reboot()
+        assert image.read_word(BASE + 100) == 0x1111
+
+    def test_reboot_restores_alloc_pointer(self, image):
+        a = image.alloc(8)
+        image.freeze_good_image()
+        image.alloc(8)
+        image.micro_reboot()
+        # After reboot, allocation resumes from the frozen position.
+        assert image.alloc(8) == a + 8
+
+    def test_reboot_clears_taint(self, image):
+        image.freeze_good_image()
+        image.write_word(BASE + 1, 5, tainted=True)
+        image.micro_reboot()
+        assert not image.is_tainted(BASE + 1)
+
+    def test_reboot_clears_free_lists(self, image):
+        image.freeze_good_image()
+        a = image.alloc(4)
+        image.free(a, 4)
+        image.micro_reboot()
+        # Free list from the corrupted epoch must not survive.
+        assert image.alloc(4) == a
+
+    def test_reboot_cost_positive(self, image):
+        assert image.reboot_cost_cycles > 0
+
+    def test_repr(self, image):
+        assert "MemoryImage" in repr(image)

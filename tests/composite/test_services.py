@@ -1,0 +1,437 @@
+"""Unit tests for the six system services (python-level semantics)."""
+
+import pytest
+
+from repro.composite.services.ramfs import ROOT_FD, path_hash
+from repro.errors import BlockThread, InvalidDescriptor
+from repro.system import build_system
+
+
+@pytest.fixture
+def system():
+    return build_system(ft_mode="none")
+
+
+@pytest.fixture
+def thread(system):
+    return system.kernel.create_thread(
+        "tester", prio=1, home="app0", body_factory=lambda s, t: iter(())
+    )
+
+
+@pytest.fixture
+def thread2(system):
+    return system.kernel.create_thread(
+        "tester2", prio=1, home="app0", body_factory=lambda s, t: iter(())
+    )
+
+
+# ---------------------------------------------------------------------------
+class TestLockService:
+    def test_alloc_ids_monotonic(self, system, thread):
+        lock = system.service("lock")
+        assert lock.lock_alloc(thread, "app0") == 1
+        assert lock.lock_alloc(thread, "app0") == 2
+
+    def test_take_free_lock(self, system, thread):
+        lock = system.service("lock")
+        lid = lock.lock_alloc(thread, "app0")
+        assert lock.lock_take(thread, "app0", lid) == 0
+        assert lock.owner_of(lid) == thread.tid
+
+    def test_retake_owned_is_noop(self, system, thread):
+        lock = system.service("lock")
+        lid = lock.lock_alloc(thread, "app0")
+        lock.lock_take(thread, "app0", lid)
+        assert lock.lock_take(thread, "app0", lid) == 0
+        assert lock.owner_of(lid) == thread.tid
+
+    def test_contended_take_blocks(self, system, thread, thread2):
+        lock = system.service("lock")
+        lid = lock.lock_alloc(thread, "app0")
+        lock.lock_take(thread, "app0", lid)
+        with pytest.raises(BlockThread):
+            lock.lock_take(thread2, "app0", lid)
+        assert thread2.tid in lock.waiters_of(lid)
+
+    def test_release_not_owner_eperm(self, system, thread, thread2):
+        lock = system.service("lock")
+        lid = lock.lock_alloc(thread, "app0")
+        lock.lock_take(thread, "app0", lid)
+        assert lock.lock_release(thread2, "app0", lid) == -1
+
+    def test_release_no_waiters(self, system, thread):
+        lock = system.service("lock")
+        lid = lock.lock_alloc(thread, "app0")
+        lock.lock_take(thread, "app0", lid)
+        assert lock.lock_release(thread, "app0", lid) == 0
+        assert lock.owner_of(lid) == 0
+
+    def test_release_hands_off_to_waiter(self, system, thread, thread2):
+        lock = system.service("lock")
+        lid = lock.lock_alloc(thread, "app0")
+        lock.lock_take(thread, "app0", lid)
+        with pytest.raises(BlockThread):
+            lock.lock_take(thread2, "app0", lid)
+        lock.lock_release(thread, "app0", lid)
+        assert lock.owner_of(lid) == thread2.tid
+        assert lock.waiters_of(lid) == []
+
+    def test_free_removes_lock(self, system, thread):
+        lock = system.service("lock")
+        lid = lock.lock_alloc(thread, "app0")
+        assert lock.lock_free(thread, "app0", lid) == 0
+        with pytest.raises(InvalidDescriptor):
+            lock.lock_take(thread, "app0", lid)
+
+    def test_unknown_descriptor(self, system, thread):
+        lock = system.service("lock")
+        with pytest.raises(InvalidDescriptor):
+            lock.lock_take(thread, "app0", 404)
+
+    def test_reinit_clears_everything(self, system, thread):
+        lock = system.service("lock")
+        lock.lock_alloc(thread, "app0")
+        lock.reinit()
+        assert lock.locks == {}
+
+
+# ---------------------------------------------------------------------------
+class TestSchedService:
+    def test_register_returns_tid(self, system, thread):
+        sched = system.service("sched")
+        assert sched.sched_register(thread, "app0") == thread.tid
+        assert sched.is_registered(thread.tid)
+
+    def test_register_idempotent(self, system, thread):
+        sched = system.service("sched")
+        sched.sched_register(thread, "app0")
+        assert sched.sched_register(thread, "app0") == thread.tid
+
+    def test_blk_requires_registration(self, system, thread):
+        sched = system.service("sched")
+        with pytest.raises(InvalidDescriptor):
+            sched.sched_blk(thread, "app0", thread.tid)
+
+    def test_blk_only_self(self, system, thread, thread2):
+        sched = system.service("sched")
+        sched.sched_register(thread, "app0")
+        assert sched.sched_blk(thread, "app0", thread2.tid) == -1
+
+    def test_blk_blocks(self, system, thread):
+        sched = system.service("sched")
+        sched.sched_register(thread, "app0")
+        with pytest.raises(BlockThread):
+            sched.sched_blk(thread, "app0", thread.tid)
+
+    def test_wakeup_before_block_latches(self, system, thread, thread2):
+        sched = system.service("sched")
+        sched.sched_register(thread, "app0")
+        sched.sched_register(thread2, "app0")
+        assert sched.sched_wakeup(thread2, "app0", thread.tid) == 0
+        # The latched wakeup makes the next block return immediately.
+        assert sched.sched_blk(thread, "app0", thread.tid) == 0
+
+    def test_latch_survives_reboot_via_storage(self, system, thread, thread2):
+        sched = system.service("sched")
+        sched.sched_register(thread, "app0")
+        sched.sched_register(thread2, "app0")
+        sched.sched_wakeup(thread2, "app0", thread.tid)
+        sched.micro_reboot()
+        sched.post_reboot_init()
+        assert thread.tid in sched.pending_wakeups
+
+    def test_exit_unregisters(self, system, thread):
+        sched = system.service("sched")
+        sched.sched_register(thread, "app0")
+        assert sched.sched_exit(thread, "app0", thread.tid) == 0
+        assert not sched.is_registered(thread.tid)
+
+    def test_reflection_rebuilds_table(self, system, thread):
+        sched = system.service("sched")
+        sched.micro_reboot()
+        sched.post_reboot_init()
+        assert sched.is_registered(thread.tid)
+
+
+# ---------------------------------------------------------------------------
+class TestTimerService:
+    def test_alloc_and_period(self, system, thread):
+        timer = system.service("timer")
+        tmid = timer.timer_alloc(thread, "app0", 1000)
+        assert timer.period_of(tmid) == 1000
+
+    def test_alloc_rejects_bad_period(self, system, thread):
+        timer = system.service("timer")
+        assert timer.timer_alloc(thread, "app0", 0) == -1
+        assert timer.timer_alloc(thread, "app0", -5) == -1
+
+    def test_block_blocks_with_timeout(self, system, thread):
+        timer = system.service("timer")
+        tmid = timer.timer_alloc(thread, "app0", 1000)
+        with pytest.raises(BlockThread) as excinfo:
+            timer.timer_block(thread, "app0", tmid)
+        assert excinfo.value.timeout is not None
+        assert excinfo.value.timeout > system.kernel.clock.now
+        assert excinfo.value.timeout % 1000 == 0
+
+    def test_free_removes(self, system, thread):
+        timer = system.service("timer")
+        tmid = timer.timer_alloc(thread, "app0", 1000)
+        assert timer.timer_free(thread, "app0", tmid) == 0
+        with pytest.raises(InvalidDescriptor):
+            timer.timer_block(thread, "app0", tmid)
+
+    def test_expire_unknown(self, system, thread):
+        timer = system.service("timer")
+        with pytest.raises(InvalidDescriptor):
+            timer.timer_expire(thread, "app0", 7)
+
+
+# ---------------------------------------------------------------------------
+class TestEventService:
+    def test_split_and_ids(self, system, thread):
+        event = system.service("event")
+        a = event.evt_split(thread, "app0", 0, 1)
+        b = event.evt_split(thread, "app0", 0, 2)
+        assert a != b
+
+    def test_split_unknown_parent(self, system, thread):
+        event = system.service("event")
+        with pytest.raises(InvalidDescriptor):
+            event.evt_split(thread, "app0", 99, 1)
+
+    def test_split_with_parent(self, system, thread):
+        event = system.service("event")
+        parent = event.evt_split(thread, "app0", 0, 1)
+        child = event.evt_split(thread, "app0", parent, 2)
+        assert event.events[child].parent == parent
+
+    def test_wait_blocks_when_no_pending(self, system, thread):
+        event = system.service("event")
+        evtid = event.evt_split(thread, "app0", 0, 1)
+        with pytest.raises(BlockThread):
+            event.evt_wait(thread, "app0", evtid)
+        assert thread.tid in event.waiters_of(evtid)
+
+    def test_trigger_pends_without_waiter(self, system, thread):
+        event = system.service("event")
+        evtid = event.evt_split(thread, "app0", 0, 1)
+        assert event.evt_trigger(thread, "app0", evtid) == 0
+        assert event.pending_of(evtid) == 1
+
+    def test_wait_consumes_pending(self, system, thread):
+        event = system.service("event")
+        evtid = event.evt_split(thread, "app0", 0, 1)
+        event.evt_trigger(thread, "app0", evtid)
+        assert event.evt_wait(thread, "app0", evtid) == 0
+        assert event.pending_of(evtid) == 0
+
+    def test_pending_survives_reboot_via_storage(self, system, thread):
+        event = system.service("event")
+        evtid = event.evt_split(thread, "app0", 0, 1)
+        event.evt_trigger(thread, "app0", evtid)
+        event.micro_reboot()
+        new_id = event.evt_split(thread, "app0", 0, 1)
+        assert event.pending_of(new_id) == 1
+
+    def test_free_cleans_storage(self, system, thread):
+        event = system.service("event")
+        evtid = event.evt_split(thread, "app0", 0, 1)
+        event.evt_trigger(thread, "app0", evtid)
+        event.evt_free(thread, "app0", evtid)
+        new_id = event.evt_split(thread, "app0", 0, 1)
+        assert event.pending_of(new_id) == 0
+
+
+# ---------------------------------------------------------------------------
+class TestMMService:
+    def test_get_page_returns_vaddr(self, system, thread):
+        mm = system.service("mm")
+        assert mm.mman_get_page(thread, "app0", 0x4000) == 0x4000
+        assert mm.has_mapping("app0", 0x4000)
+
+    def test_get_page_idempotent(self, system, thread):
+        mm = system.service("mm")
+        mm.mman_get_page(thread, "app0", 0x4000)
+        frame = mm.frame_of("app0", 0x4000)
+        assert mm.mman_get_page(thread, "app0", 0x4000) == 0x4000
+        assert mm.frame_of("app0", 0x4000) == frame
+
+    def test_alias_shares_frame(self, system, thread):
+        mm = system.service("mm")
+        mm.mman_get_page(thread, "app0", 0x4000)
+        assert mm.mman_alias_page(thread, "app0", 0x4000, "app1", 0x8000) == 0x8000
+        assert mm.frame_of("app1", 0x8000) == mm.frame_of("app0", 0x4000)
+        assert mm.parent_of("app1", 0x8000) == ("app0", 0x4000)
+
+    def test_alias_unknown_parent(self, system, thread):
+        mm = system.service("mm")
+        with pytest.raises(InvalidDescriptor):
+            mm.mman_alias_page(thread, "app0", 0x4000, "app1", 0x8000)
+
+    def test_alias_idempotent_same_parent(self, system, thread):
+        mm = system.service("mm")
+        mm.mman_get_page(thread, "app0", 0x4000)
+        mm.mman_alias_page(thread, "app0", 0x4000, "app1", 0x8000)
+        assert mm.mman_alias_page(thread, "app0", 0x4000, "app1", 0x8000) == 0x8000
+
+    def test_alias_conflicting_parent_rejected(self, system, thread):
+        mm = system.service("mm")
+        mm.mman_get_page(thread, "app0", 0x4000)
+        mm.mman_get_page(thread, "app0", 0x5000)
+        mm.mman_alias_page(thread, "app0", 0x4000, "app1", 0x8000)
+        assert mm.mman_alias_page(thread, "app0", 0x5000, "app1", 0x8000) == -1
+
+    def test_get_page_over_alias_rejected(self, system, thread):
+        mm = system.service("mm")
+        mm.mman_get_page(thread, "app0", 0x4000)
+        mm.mman_alias_page(thread, "app0", 0x4000, "app1", 0x8000)
+        assert mm.mman_get_page(thread, "app1", 0x8000) == -1
+
+    def test_release_revokes_subtree(self, system, thread):
+        mm = system.service("mm")
+        mm.mman_get_page(thread, "app0", 0x4000)
+        mm.mman_alias_page(thread, "app0", 0x4000, "app1", 0x8000)
+        mm.mman_alias_page(thread, "app1", 0x8000, "app2", 0xC000)
+        assert mm.mman_release_page(thread, "app0", 0x4000) == 0
+        assert not mm.has_mapping("app0", 0x4000)
+        assert not mm.has_mapping("app1", 0x8000)
+        assert not mm.has_mapping("app2", 0xC000)
+
+    def test_release_middle_keeps_root(self, system, thread):
+        mm = system.service("mm")
+        mm.mman_get_page(thread, "app0", 0x4000)
+        mm.mman_alias_page(thread, "app0", 0x4000, "app1", 0x8000)
+        mm.mman_release_page(thread, "app1", 0x8000)
+        assert mm.has_mapping("app0", 0x4000)
+        assert not mm.has_mapping("app1", 0x8000)
+
+    def test_release_unknown(self, system, thread):
+        mm = system.service("mm")
+        with pytest.raises(InvalidDescriptor):
+            mm.mman_release_page(thread, "app0", 0x4000)
+
+    def test_frames_unique_per_root(self, system, thread):
+        mm = system.service("mm")
+        mm.mman_get_page(thread, "app0", 0x4000)
+        mm.mman_get_page(thread, "app0", 0x5000)
+        assert mm.frame_of("app0", 0x4000) != mm.frame_of("app0", 0x5000)
+
+
+# ---------------------------------------------------------------------------
+class TestRamFSService:
+    def test_root_exists(self, system):
+        ramfs = system.service("ramfs")
+        assert ramfs.path_of(ROOT_FD) == "/"
+
+    def test_tsplit_creates_file(self, system, thread):
+        ramfs = system.service("ramfs")
+        fd = ramfs.tsplit(thread, "app0", ROOT_FD, "a.txt")
+        assert ramfs.path_of(fd) == "/a.txt"
+        assert ramfs.offset_of(fd) == 0
+
+    def test_tsplit_unknown_parent(self, system, thread):
+        ramfs = system.service("ramfs")
+        with pytest.raises(InvalidDescriptor):
+            ramfs.tsplit(thread, "app0", 99, "a.txt")
+
+    def test_write_read_roundtrip(self, system, thread):
+        ramfs = system.service("ramfs")
+        fd = ramfs.tsplit(thread, "app0", ROOT_FD, "a.txt")
+        assert ramfs.twrite(thread, "app0", fd, b"hello") == 5
+        ramfs.tseek(thread, "app0", fd, 0)
+        assert ramfs.tread(thread, "app0", fd, 5) == b"hello"
+
+    def test_offset_advances(self, system, thread):
+        ramfs = system.service("ramfs")
+        fd = ramfs.tsplit(thread, "app0", ROOT_FD, "a.txt")
+        ramfs.twrite(thread, "app0", fd, b"ab")
+        assert ramfs.offset_of(fd) == 2
+        ramfs.tseek(thread, "app0", fd, 1)
+        assert ramfs.tread(thread, "app0", fd, 1) == b"b"
+        assert ramfs.offset_of(fd) == 2
+
+    def test_read_past_end_truncates(self, system, thread):
+        ramfs = system.service("ramfs")
+        fd = ramfs.tsplit(thread, "app0", ROOT_FD, "a.txt")
+        ramfs.twrite(thread, "app0", fd, b"xy")
+        ramfs.tseek(thread, "app0", fd, 0)
+        assert ramfs.tread(thread, "app0", fd, 100) == b"xy"
+
+    def test_release_keeps_data(self, system, thread):
+        ramfs = system.service("ramfs")
+        fd = ramfs.tsplit(thread, "app0", ROOT_FD, "a.txt")
+        ramfs.twrite(thread, "app0", fd, b"data")
+        assert ramfs.trelease(thread, "app0", fd) == 0
+        fd2 = ramfs.tsplit(thread, "app0", ROOT_FD, "a.txt")
+        assert ramfs.tread(thread, "app0", fd2, 4) == b"data"
+
+    def test_release_root_rejected(self, system, thread):
+        ramfs = system.service("ramfs")
+        assert ramfs.trelease(thread, "app0", ROOT_FD) == -1
+
+    def test_data_survives_reboot_via_storage(self, system, thread):
+        ramfs = system.service("ramfs")
+        fd = ramfs.tsplit(thread, "app0", ROOT_FD, "keep.txt")
+        ramfs.twrite(thread, "app0", fd, b"persist")
+        ramfs.micro_reboot()
+        fd2 = ramfs.tsplit(thread, "app0", ROOT_FD, "keep.txt")
+        assert ramfs.tread(thread, "app0", fd2, 7) == b"persist"
+
+    def test_path_hash_stable(self):
+        assert path_hash("/a") == path_hash("/a")
+        assert path_hash("/a") != path_hash("/b")
+
+    def test_nested_split(self, system, thread):
+        ramfs = system.service("ramfs")
+        dir_fd = ramfs.tsplit(thread, "app0", ROOT_FD, "dir")
+        file_fd = ramfs.tsplit(thread, "app0", dir_fd, "f.txt")
+        assert ramfs.path_of(file_fd) == "/dir/f.txt"
+
+
+# ---------------------------------------------------------------------------
+class TestStorageService:
+    def test_put_get_del(self, system, thread):
+        storage = system.service("storage")
+        storage.store_put(thread, "ns", "k", 42)
+        assert storage.store_get(thread, "ns", "k") == 42
+        storage.store_del(thread, "ns", "k")
+        assert storage.store_get(thread, "ns", "k") is None
+
+    def test_namespaces_isolated(self, system, thread):
+        storage = system.service("storage")
+        storage.store_put(thread, "a", "k", 1)
+        storage.store_put(thread, "b", "k", 2)
+        assert storage.store_get(thread, "a", "k") == 1
+        assert storage.store_get(thread, "b", "k") == 2
+
+    def test_store_list(self, system, thread):
+        storage = system.service("storage")
+        storage.store_put(thread, "ns", "x", 1)
+        storage.store_put(thread, "ns", "y", 2)
+        assert sorted(storage.store_list(thread, "ns")) == [("x", 1), ("y", 2)]
+
+    def test_creator_records(self, system, thread):
+        storage = system.service("storage")
+        storage.record_creator(thread, "event", 5, "app0")
+        assert storage.lookup_creator(thread, "event", 5) == "app0"
+        assert storage.lookup_creator(thread, "event", 6) is None
+
+    def test_alias_chain_resolution(self, system, thread):
+        storage = system.service("storage")
+        storage.record_alias(thread, "event", 1, 4)
+        storage.record_alias(thread, "event", 4, 9)
+        assert storage.resolve_alias(thread, "event", 1) == 9
+
+    def test_alias_cycle_terminates(self, system, thread):
+        storage = system.service("storage")
+        storage.record_alias(thread, "event", 1, 2)
+        storage.record_alias(thread, "event", 2, 1)
+        assert storage.resolve_alias(thread, "event", 1) in (1, 2)
+
+    def test_contents_survive_reinit(self, system, thread):
+        storage = system.service("storage")
+        storage.store_put(thread, "ns", "k", 1)
+        storage.reinit()
+        assert storage.store_get(thread, "ns", "k") == 1

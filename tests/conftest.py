@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.system import build_system, compile_all_interfaces
+
+
+@pytest.fixture(scope="session")
+def compiled():
+    """All six service interfaces, compiled once per session."""
+    return compile_all_interfaces()
+
+
+@pytest.fixture
+def sg_system():
+    """A fresh system with SuperGlue-generated stubs."""
+    return build_system(ft_mode="superglue")
+
+
+@pytest.fixture
+def c3_system():
+    """A fresh system with hand-written C^3 stubs."""
+    return build_system(ft_mode="c3")
+
+
+@pytest.fixture
+def bare_system():
+    """A fresh system with no fault tolerance."""
+    return build_system(ft_mode="none")
+
+
+@pytest.fixture(params=["c3", "superglue"])
+def ft_system(request):
+    """Parametrised over both fault-tolerant stub flavours."""
+    return build_system(ft_mode=request.param)

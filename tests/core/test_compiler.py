@@ -1,0 +1,130 @@
+"""Unit tests for the SuperGlue compiler back end."""
+
+import pytest
+
+from repro.core.compiler import (
+    PREDICATES,
+    SuperGlueCompiler,
+    TEMPLATES,
+    evaluate_predicates,
+)
+from repro.core.compiler.templates import CLIENT_TEMPLATES, SERVER_TEMPLATES
+from repro.core.runtime.stubs import ClientStubRuntime, ServerStubRuntime
+from repro.errors import CompileError, IDLSyntaxError
+from repro.idl_specs import SERVICES, load_idl
+
+
+@pytest.fixture(scope="module")
+def all_compiled():
+    compiler = SuperGlueCompiler()
+    return {
+        name: compiler.compile_source(load_idl(name), name=name)
+        for name in SERVICES
+    }
+
+
+class TestPredicates:
+    def test_predicate_registry_nonempty(self):
+        assert len(PREDICATES) >= 25
+
+    def test_always_true(self, all_compiled):
+        ir = all_compiled["lock"].ir
+        assert PREDICATES["always"](ir, None)
+
+    def test_model_predicates(self, all_compiled):
+        lock = all_compiled["lock"].ir
+        event = all_compiled["event"].ir
+        assert PREDICATES["model_blocking"](lock, None)
+        assert PREDICATES["model_local"](lock, None)
+        assert PREDICATES["model_global"](event, None)
+        assert not PREDICATES["model_global"](lock, None)
+
+    def test_fn_predicates_need_fn(self, all_compiled):
+        ir = all_compiled["lock"].ir
+        assert not PREDICATES["fn_creation"](ir, None)
+        alloc = ir.functions["lock_alloc"]
+        assert PREDICATES["fn_creation"](ir, alloc)
+
+    def test_mechanism_predicates(self, all_compiled):
+        mm = all_compiled["mm"].ir
+        release = mm.functions["mman_release_page"]
+        alias = mm.functions["mman_alias_page"]
+        assert PREDICATES["mech_d0_terminal"](mm, release)
+        assert PREDICATES["mech_d1_create"](mm, alias)
+        get = mm.functions["mman_get_page"]
+        assert not PREDICATES["mech_d1_create"](mm, get)
+
+    def test_evaluate_predicates_table(self, all_compiled):
+        table = evaluate_predicates(all_compiled["event"].ir)
+        assert table["model_global"]
+        assert table["mech_g0_dispatch"]
+        assert table["fn_block"]
+
+
+class TestTemplates:
+    def test_template_network_size(self):
+        # The paper's compiler has 72 predicate-template pairs; ours is a
+        # reduced but genuine network.
+        assert len(TEMPLATES) >= 20
+        assert len(CLIENT_TEMPLATES) > len(SERVER_TEMPLATES)
+
+    def test_templates_have_known_predicates(self):
+        for template in TEMPLATES:
+            assert template.predicate in PREDICATES, template.name
+
+    def test_templates_used_differ_by_model(self, all_compiled):
+        lock_used = set(all_compiled["lock"].templates_used["server"])
+        event_used = set(all_compiled["event"].templates_used["server"])
+        assert "server-plain" in lock_used
+        assert "server-g0" in event_used
+        assert "server-plain" not in event_used
+
+    def test_d0_template_only_for_close_children(self, all_compiled):
+        mm_used = all_compiled["mm"].templates_used["client"]
+        lock_used = all_compiled["lock"].templates_used["client"]
+        assert any(u.startswith("d0-children") for u in mm_used)
+        assert not any(u.startswith("d0-children") for u in lock_used)
+
+
+class TestCodegen:
+    def test_all_services_compile(self, all_compiled):
+        assert set(all_compiled) == set(SERVICES)
+
+    def test_generated_classes_subclass_runtime(self, all_compiled):
+        for compiled in all_compiled.values():
+            assert issubclass(compiled.client_class, ClientStubRuntime)
+            assert issubclass(compiled.server_class, ServerStubRuntime)
+
+    def test_generated_client_has_stub_methods(self, all_compiled):
+        lock = all_compiled["lock"]
+        for fn in ("lock_alloc", "lock_take", "lock_release", "lock_free"):
+            assert hasattr(lock.client_class, f"stub_{fn}")
+
+    def test_loc_expansion(self, all_compiled):
+        # Declarative spec expands into substantially more generated code.
+        for compiled in all_compiled.values():
+            assert compiled.generated_loc > 2 * compiled.idl_loc
+
+    def test_idl_loc_in_paper_ballpark(self, all_compiled):
+        for compiled in all_compiled.values():
+            assert 15 <= compiled.idl_loc <= 50  # paper average: 37
+
+    def test_make_client_stub(self, all_compiled):
+        stub = all_compiled["lock"].make_client_stub("app0")
+        assert stub.client == "app0"
+        assert stub.server == "lock"
+        assert stub.SERVICE == "lock"
+
+    def test_compile_source_bad_idl(self):
+        with pytest.raises(IDLSyntaxError):
+            SuperGlueCompiler().compile_source("not idl at all !!!", name="x")
+
+    def test_compiler_caches_compiled(self):
+        compiler = SuperGlueCompiler()
+        compiler.compile_source(load_idl("lock"), name="lock")
+        assert "lock" in compiler.compiled
+
+    def test_generated_source_mentions_mechanisms(self, all_compiled):
+        event = all_compiled["event"]
+        module_docstringish = event.server_source
+        assert "G0" in module_docstringish or "g0" in module_docstringish

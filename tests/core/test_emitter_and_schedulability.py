@@ -1,0 +1,87 @@
+"""Tests for the IDL emitter round-trip and the schedulability bounds."""
+
+import pytest
+
+from repro.analysis.schedulability import (
+    all_service_bounds,
+    descriptor_walk_bound,
+    task_recovery_bound,
+    worst_case_state,
+)
+from repro.core.idl import parse_idl
+from repro.core.idl.emitter import emit_idl, specs_equivalent
+from repro.core.state_machine import INIT_STATE
+from repro.idl_specs import SERVICES, load_idl
+from repro.system import compile_all_interfaces
+
+
+class TestEmitterRoundTrip:
+    @pytest.mark.parametrize("service", SERVICES)
+    def test_round_trip_all_services(self, service):
+        original = parse_idl(load_idl(service), name=service)
+        emitted = emit_idl(original)
+        reparsed = parse_idl(emitted)
+        assert specs_equivalent(original, reparsed), emitted
+
+    def test_round_trip_is_fixed_point(self):
+        spec = parse_idl(load_idl("event"), name="event")
+        once = emit_idl(spec)
+        twice = emit_idl(parse_idl(once))
+        assert once == twice
+
+    def test_emitted_compiles(self):
+        from repro.core.compiler import SuperGlueCompiler
+
+        spec = parse_idl(load_idl("lock"), name="lock")
+        compiled = SuperGlueCompiler().compile_source(emit_idl(spec))
+        assert compiled.ir.name == "lock"
+
+    def test_specs_equivalent_detects_differences(self):
+        a = parse_idl(load_idl("lock"), name="lock")
+        b = parse_idl(load_idl("timer"), name="timer")
+        assert not specs_equivalent(a, b)
+        assert specs_equivalent(a, a)
+
+
+class TestSchedulabilityBounds:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return compile_all_interfaces()
+
+    def test_worst_case_state_lock(self, compiled):
+        # lock_release has the longest walk: alloc -> take -> release.
+        assert worst_case_state(compiled["lock"].ir) == "lock_release"
+
+    def test_worst_case_state_fs_is_init(self, compiled):
+        # All RamFS mutators are read-only in SM terms.
+        assert worst_case_state(compiled["ramfs"].ir) == INIT_STATE
+
+    def test_bounds_positive_and_finite(self, compiled):
+        for name, bound in all_service_bounds().items():
+            assert bound.cycles > 0
+            assert bound.us < 50  # microseconds, not milliseconds
+
+    def test_task_bound_scales_with_descriptors(self, compiled):
+        ir = compiled["lock"].ir
+        one = task_recovery_bound(ir, 1).total_cycles
+        five = task_recovery_bound(ir, 5).total_cycles
+        assert five > one
+        assert five - one == 4 * descriptor_walk_bound(
+            ir, worst_case_state(ir)
+        ).cycles
+
+    @pytest.mark.parametrize("service", SERVICES)
+    def test_measured_recovery_within_static_bound(self, service, compiled):
+        """The predictability property: measured per-descriptor recovery
+        never exceeds the compile-time bound."""
+        from repro.analysis import measure_recovery_overhead
+
+        bound = descriptor_walk_bound(
+            compiled[service].ir, worst_case_state(compiled[service].ir)
+        )
+        measured = measure_recovery_overhead(service, "superglue", runs=15)
+        if measured["samples"] == 0:
+            pytest.skip("no recovery samples for this seed")
+        assert measured["mean_us"] <= bound.us
+        # And the bound is not vacuous (within ~50x of reality).
+        assert bound.us < measured["mean_us"] * 50

@@ -1,0 +1,249 @@
+"""Unit tests for the IDL front end: lexer, parser, validator."""
+
+import pytest
+
+from repro.core.idl import build_ir, parse_idl
+from repro.core.idl.lexer import TokenStream, tokenize
+from repro.core.model import ParentKind
+from repro.errors import IDLSyntaxError, IDLValidationError
+from repro.idl_specs import SERVICES, load_idl
+
+
+# ---------------------------------------------------------------------------
+class TestLexer:
+    def test_identifiers_and_punct(self):
+        tokens = tokenize("foo(bar, baz);")
+        kinds = [(t.kind, t.value) for t in tokens]
+        assert ("ident", "foo") in kinds
+        assert ("punct", "(") in kinds
+        assert ("punct", ";") in kinds
+        assert kinds[-1][0] == "eof"
+
+    def test_numbers(self):
+        tokens = tokenize("x = 42")
+        assert any(t.kind == "number" and t.value == "42" for t in tokens)
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize("a // comment\nb")
+        idents = [t.value for t in tokens if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        idents = [t.value for t in tokens if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(IDLSyntaxError):
+            tokenize("a /* oops")
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\nc")
+        lines = [t.line for t in tokens if t.kind == "ident"]
+        assert lines == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(IDLSyntaxError):
+            tokenize("a @ b")
+
+    def test_stream_expect_and_accept(self):
+        stream = TokenStream(tokenize("a(b)"))
+        assert stream.expect("ident").value == "a"
+        assert stream.accept("punct", "(")
+        assert not stream.accept("punct", "(")
+        assert stream.expect("ident", "b").value == "b"
+
+    def test_stream_expect_failure(self):
+        stream = TokenStream(tokenize("a"))
+        with pytest.raises(IDLSyntaxError):
+            stream.expect("punct", ";")
+
+
+# ---------------------------------------------------------------------------
+MINI_IDL = """
+service = demo;
+service_global_info = {
+        desc_has_parent = solo,
+        desc_block      = true,
+        desc_has_data   = true
+};
+sm_transition(d_open, d_use);
+sm_transition(d_use,  d_use);
+sm_transition(d_open, d_close);
+sm_transition(d_use,  d_close);
+sm_creation(d_open);
+sm_terminal(d_close);
+sm_block(d_use);
+sm_wakeup(d_kick);
+sm_readonly(d_kick);
+
+desc_data_retval(long, did)
+d_open(desc_data(componentid_t compid));
+int d_use(componentid_t compid, desc(long did));
+int d_kick(componentid_t compid, desc(long did));
+int d_close(componentid_t compid, desc(long did));
+"""
+
+
+class TestParser:
+    def test_parse_mini(self):
+        spec = parse_idl(MINI_IDL)
+        assert spec.name == "demo"
+        assert spec.info.get_bool("desc_block")
+        assert len(spec.functions) == 4
+
+    def test_name_override(self):
+        spec = parse_idl("service_global_info = {};\nsm_creation(f);\nlong f(componentid_t c);", name="x")
+        assert spec.name == "x"
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(IDLSyntaxError):
+            parse_idl("sm_creation(f);\nlong f(componentid_t c);")
+
+    def test_ret_track_binding(self):
+        spec = parse_idl(MINI_IDL)
+        fn = spec.function("d_open")
+        assert fn.ret_track == ("long", "did", "set")
+        assert spec.function("d_use").ret_track is None
+
+    def test_ret_track_add_mode(self):
+        source = MINI_IDL.replace(
+            "int d_use(componentid_t compid, desc(long did));",
+            "desc_data_retval(long, off, add)\n"
+            "int d_use(componentid_t compid, desc(long did));",
+        )
+        spec = parse_idl(source)
+        assert spec.function("d_use").ret_track == ("long", "off", "add")
+
+    def test_ret_track_bad_mode(self):
+        with pytest.raises(IDLSyntaxError):
+            parse_idl("service = s;\ndesc_data_retval(long, x, weird)\nf();")
+
+    def test_dangling_ret_track(self):
+        with pytest.raises(IDLSyntaxError):
+            parse_idl("service = s;\ndesc_data_retval(long, x)")
+
+    def test_param_annotations(self):
+        spec = parse_idl(MINI_IDL)
+        open_fn = spec.function("d_open")
+        assert open_fn.params[0].tracked
+        assert open_fn.params[0].is_principal
+        use_fn = spec.function("d_use")
+        assert use_fn.desc_param_index() == 1
+        assert not use_fn.params[0].is_desc
+
+    def test_nested_annotation(self):
+        source = """
+service = s;
+sm_creation(mk);
+desc_data_retval(long, id)
+mk(desc_data(componentid_t c), desc_data(parent_desc(long pid)));
+"""
+        spec = parse_idl(source)
+        param = spec.function("mk").params[1]
+        assert param.is_parent and param.tracked
+
+    def test_sm_declarations_collected(self):
+        spec = parse_idl(MINI_IDL)
+        kinds = {d.kind for d in spec.sm_decls}
+        assert kinds == {"transition", "creation", "terminal", "block",
+                         "wakeup", "readonly"}
+
+    def test_transitions_two_args(self):
+        decls = [d for d in parse_idl(MINI_IDL).sm_decls if d.kind == "transition"]
+        assert all(len(d.args) == 2 for d in decls)
+
+    def test_loc_counts_code_lines_only(self):
+        spec = parse_idl("// comment\n\nservice = s;\nsm_creation(f);\nlong f(componentid_t c);\n")
+        assert spec.loc == 3
+
+    def test_multiword_types(self):
+        spec = parse_idl(
+            "service = s;\nsm_creation(f);\n"
+            "unsigned long f(componentid_t c, unsigned long n);"
+        )
+        fn = spec.function("f")
+        assert fn.ret_ctype == "unsigned long"
+        assert fn.params[1].ctype == "unsigned long"
+
+    def test_paper_fig3_event_idl_parses(self):
+        spec = parse_idl(load_idl("event"), name="event")
+        assert spec.name == "event"
+        assert spec.info.get_bool("desc_is_global")
+        names = [f.name for f in spec.functions]
+        assert names == ["evt_split", "evt_wait", "evt_trigger", "evt_free"]
+
+
+# ---------------------------------------------------------------------------
+class TestValidator:
+    def test_all_service_specs_validate(self):
+        for service in SERVICES:
+            ir = build_ir(parse_idl(load_idl(service), name=service))
+            assert ir.name == service
+
+    def test_mini_ir_contents(self):
+        ir = build_ir(parse_idl(MINI_IDL))
+        assert ir.model.blocking
+        assert ir.model.parent is ParentKind.SOLO
+        assert ir.functions["d_open"].is_creation
+        assert ir.functions["d_close"].is_terminal
+        assert ir.functions["d_use"].is_block
+        assert ir.functions["d_kick"].is_wakeup and ir.functions["d_kick"].is_readonly
+
+    def test_block_mismatch_rejected(self):
+        source = MINI_IDL.replace("desc_block      = true", "desc_block      = false")
+        with pytest.raises(IDLValidationError):
+            build_ir(parse_idl(source))
+
+    def test_block_without_wakeup_rejected(self):
+        source = MINI_IDL.replace("sm_wakeup(d_kick);\n", "")
+        with pytest.raises(IDLValidationError):
+            build_ir(parse_idl(source))
+
+    def test_parent_without_parent_param_rejected(self):
+        source = MINI_IDL.replace(
+            "desc_has_parent = solo", "desc_has_parent = parent"
+        )
+        with pytest.raises(IDLValidationError):
+            build_ir(parse_idl(source))
+
+    def test_parent_param_without_parent_model_rejected(self):
+        source = MINI_IDL.replace(
+            "d_open(desc_data(componentid_t compid));",
+            "d_open(desc_data(componentid_t compid), "
+            "desc_data(parent_desc(long pid)));",
+        )
+        with pytest.raises(IDLValidationError):
+            build_ir(parse_idl(source))
+
+    def test_non_creation_needs_desc(self):
+        source = MINI_IDL.replace(
+            "int d_kick(componentid_t compid, desc(long did));",
+            "int d_kick(componentid_t compid, long did);",
+        )
+        with pytest.raises(IDLValidationError):
+            build_ir(parse_idl(source))
+
+    def test_tracking_requires_desc_has_data(self):
+        source = MINI_IDL.replace("desc_has_data   = true", "desc_has_data   = false")
+        with pytest.raises(IDLValidationError):
+            build_ir(parse_idl(source))
+
+    def test_global_requires_ret_track(self):
+        source = MINI_IDL.replace(
+            "        desc_block      = true,",
+            "        desc_block      = true,\n        desc_is_global  = true,",
+        ).replace("desc_data_retval(long, did)\n", "")
+        with pytest.raises(IDLValidationError):
+            build_ir(parse_idl(source))
+
+    def test_ir_meta_names(self):
+        ir = build_ir(parse_idl(MINI_IDL))
+        assert "did" in ir.meta_names()
+
+    def test_bad_transition_arity(self):
+        source = MINI_IDL.replace(
+            "sm_transition(d_open, d_use);", "sm_transition(d_open);"
+        )
+        with pytest.raises(IDLValidationError):
+            build_ir(parse_idl(source))

@@ -1,0 +1,103 @@
+"""Unit tests for the descriptor-resource model (Eq. 1)."""
+
+import pytest
+
+from repro.core.model import DescriptorResourceModel, ParentKind
+from repro.errors import IDLValidationError
+
+
+class TestParentKind:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("solo", ParentKind.SOLO),
+            ("Parent", ParentKind.PARENT),
+            ("XCPARENT", ParentKind.XCPARENT),
+            ("  parent ", ParentKind.PARENT),
+        ],
+    )
+    def test_from_str(self, text, expected):
+        assert ParentKind.from_str(text) is expected
+
+    def test_from_str_invalid(self):
+        with pytest.raises(IDLValidationError):
+            ParentKind.from_str("sibling")
+
+
+class TestValidation:
+    def test_default_model_valid(self):
+        DescriptorResourceModel().validate()
+
+    def test_close_children_requires_parent(self):
+        model = DescriptorResourceModel(close_children=True)
+        with pytest.raises(IDLValidationError):
+            model.validate()
+
+    def test_close_children_with_parent_ok(self):
+        DescriptorResourceModel(
+            parent=ParentKind.XCPARENT, close_children=True
+        ).validate()
+
+    def test_y_and_c_exclusive(self):
+        model = DescriptorResourceModel(
+            parent=ParentKind.PARENT,
+            close_children=True,
+            close_removes_dependency=True,
+        )
+        with pytest.raises(IDLValidationError):
+            model.validate()
+
+    def test_close_remove_requires_parent(self):
+        model = DescriptorResourceModel(close_removes_dependency=True)
+        with pytest.raises(IDLValidationError):
+            model.validate()
+
+
+class TestMechanismMapping:
+    def test_r0_t1_always(self):
+        mechanisms = DescriptorResourceModel().mechanisms()
+        assert "R0" in mechanisms and "T1" in mechanisms
+
+    def test_blocking_implies_t0(self):
+        assert "T0" in DescriptorResourceModel(blocking=True).mechanisms()
+        assert "T0" not in DescriptorResourceModel().mechanisms()
+
+    def test_close_children_implies_d0(self):
+        model = DescriptorResourceModel(
+            parent=ParentKind.PARENT, close_children=True
+        )
+        assert "D0" in model.mechanisms()
+
+    def test_parent_implies_d1(self):
+        model = DescriptorResourceModel(parent=ParentKind.PARENT)
+        assert "D1" in model.mechanisms()
+        assert model.needs_parent_ordering
+        assert not model.parent_spans_components
+
+    def test_xcparent_spans_components(self):
+        model = DescriptorResourceModel(parent=ParentKind.XCPARENT)
+        assert model.parent_spans_components
+
+    def test_global_implies_g0_u0(self):
+        model = DescriptorResourceModel(desc_global=True)
+        assert "G0" in model.mechanisms()
+        assert "U0" in model.mechanisms()
+
+    def test_resource_data_implies_g1(self):
+        model = DescriptorResourceModel(resource_has_data=True)
+        assert "G1" in model.mechanisms()
+
+    def test_event_model_engages_most_mechanisms(self):
+        # The paper: "the event server relies on all mentioned recovery
+        # mechanisms, except (D0)".
+        model = DescriptorResourceModel(
+            blocking=True,
+            resource_has_data=True,
+            desc_global=True,
+            parent=ParentKind.PARENT,
+            close_removes_dependency=True,
+            desc_has_data=True,
+        )
+        mechanisms = set(model.mechanisms())
+        assert mechanisms == {"R0", "T1", "T0", "D1", "G0", "G1", "U0"}
+        assert "D0" not in mechanisms

@@ -1,0 +1,187 @@
+"""Unit tests for descriptor state machines (Eq. 2)."""
+
+import pytest
+
+from repro.core.state_machine import (
+    FAULT_STATE,
+    INIT_STATE,
+    DescriptorStateMachine,
+    RestoreSpec,
+)
+from repro.errors import IDLValidationError, RecoveryError
+
+
+def lock_sm():
+    return DescriptorStateMachine(
+        functions=["alloc", "take", "release", "free"],
+        transitions=[
+            ("alloc", "take"),
+            ("take", "release"),
+            ("release", "take"),
+            ("take", "take"),
+            ("alloc", "free"),
+            ("release", "free"),
+        ],
+        creation_fns=["alloc"],
+        terminal_fns=["free"],
+        block_fns=["take"],
+        wakeup_fns=["release"],
+        sticky_fns=["take"],
+    )
+
+
+def fs_sm():
+    return DescriptorStateMachine(
+        functions=["tsplit", "tread", "twrite", "tseek", "trelease"],
+        transitions=[
+            ("tsplit", "tread"),
+            ("tsplit", "twrite"),
+            ("tsplit", "tseek"),
+            ("tsplit", "trelease"),
+        ],
+        creation_fns=["tsplit"],
+        terminal_fns=["trelease"],
+        readonly_fns=["tread", "twrite", "tseek"],
+        restores=[RestoreSpec("tseek")],
+    )
+
+
+class TestStates:
+    def test_states_include_init_and_fault(self):
+        states = lock_sm().states()
+        assert INIT_STATE in states and FAULT_STATE in states
+
+    def test_readonly_fns_not_states(self):
+        assert "tread" not in fs_sm().states()
+
+    def test_sticky_block_fn_is_state(self):
+        assert "take" in lock_sm().states()
+
+    def test_changes_state(self):
+        sm = lock_sm()
+        assert sm.changes_state("take")  # sticky
+        assert sm.changes_state("release")
+        assert not fs_sm().changes_state("tread")
+
+    def test_nonsticky_block_not_state(self):
+        sm = DescriptorStateMachine(
+            functions=["create", "wait", "notify", "free"],
+            transitions=[("create", "wait"), ("wait", "notify"),
+                         ("notify", "wait"), ("create", "free")],
+            creation_fns=["create"],
+            terminal_fns=["free"],
+            block_fns=["wait"],
+            wakeup_fns=["notify"],
+        )
+        assert not sm.changes_state("wait")
+
+
+class TestSigma:
+    def test_creation_from_init(self):
+        sm = lock_sm()
+        assert sm.sigma(INIT_STATE, "alloc") == INIT_STATE
+
+    def test_valid_transition(self):
+        sm = lock_sm()
+        assert sm.sigma(INIT_STATE, "take") == "take"
+        assert sm.sigma("take", "release") == "release"
+
+    def test_invalid_transition(self):
+        sm = lock_sm()
+        assert sm.sigma("release", "release") is None
+
+    def test_valid_next(self):
+        sm = lock_sm()
+        assert sm.valid_next("take") == {"release", "take"}
+
+
+class TestWalks:
+    def test_walk_to_init_is_creation_only(self):
+        assert lock_sm().recovery_walk(INIT_STATE) == ["alloc"]
+
+    def test_walk_to_taken(self):
+        assert lock_sm().recovery_walk("take") == ["alloc", "take"]
+
+    def test_walk_to_released(self):
+        assert lock_sm().recovery_walk("release") == ["alloc", "take", "release"]
+
+    def test_fs_walk_always_creation(self):
+        assert fs_sm().recovery_walk(INIT_STATE) == ["tsplit"]
+
+    def test_walk_unreachable_raises(self):
+        sm = lock_sm()
+        with pytest.raises(RecoveryError):
+            sm.recovery_walk("nonexistent")
+
+    def test_walk_cached(self):
+        sm = lock_sm()
+        assert sm.walk_to("take") == ["take"]
+        assert sm.walk_to("take") == ["take"]  # cached path copy
+
+    def test_walk_with_explicit_creation_fn(self):
+        sm = DescriptorStateMachine(
+            functions=["get", "alias", "release"],
+            transitions=[("get", "alias"), ("alias", "alias"),
+                         ("get", "release"), ("alias", "release")],
+            creation_fns=["get", "alias"],
+            terminal_fns=["release"],
+        )
+        assert sm.recovery_walk(INIT_STATE, creation_fn="alias") == ["alias"]
+
+    def test_walk_bad_creation_fn(self):
+        with pytest.raises(RecoveryError):
+            lock_sm().recovery_walk(INIT_STATE, creation_fn="take")
+
+
+class TestValidation:
+    def test_valid_machines(self):
+        lock_sm().validate()
+        fs_sm().validate()
+
+    def test_unknown_function_in_transition(self):
+        sm = DescriptorStateMachine(
+            functions=["a"],
+            transitions=[("a", "zz")],
+            creation_fns=["a"],
+            terminal_fns=[],
+        )
+        with pytest.raises(IDLValidationError):
+            sm.validate()
+
+    def test_no_creation_function(self):
+        sm = DescriptorStateMachine(
+            functions=["a"], transitions=[], creation_fns=[], terminal_fns=[]
+        )
+        with pytest.raises(IDLValidationError):
+            sm.validate()
+
+    def test_unknown_group_member(self):
+        sm = DescriptorStateMachine(
+            functions=["a"],
+            transitions=[],
+            creation_fns=["a"],
+            terminal_fns=["zz"],
+        )
+        with pytest.raises(IDLValidationError):
+            sm.validate()
+
+    def test_unreachable_state_rejected(self):
+        sm = DescriptorStateMachine(
+            functions=["a", "b", "c"],
+            transitions=[("a", "b")],  # c unreachable
+            creation_fns=["a"],
+            terminal_fns=[],
+        )
+        with pytest.raises(IDLValidationError):
+            sm.validate()
+
+    def test_unknown_restore_fn(self):
+        sm = DescriptorStateMachine(
+            functions=["a"],
+            transitions=[],
+            creation_fns=["a"],
+            terminal_fns=[],
+            restores=[RestoreSpec("zz")],
+        )
+        with pytest.raises(IDLValidationError):
+            sm.validate()

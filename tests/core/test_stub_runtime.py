@@ -1,0 +1,236 @@
+"""Unit tests for the stub runtime: TidProxy, tracking hooks, recovery."""
+
+import pytest
+
+from repro.composite.thread import Invoke
+from repro.core.runtime.stubs import OWNER_KEY, TidProxy
+from repro.core.state_machine import INIT_STATE
+from repro.system import build_system
+
+
+@pytest.fixture
+def system():
+    return build_system(ft_mode="superglue")
+
+
+@pytest.fixture
+def thread(system):
+    return system.kernel.create_thread(
+        "tester", prio=1, home="app0", body_factory=lambda s, t: iter(())
+    )
+
+
+def drive(system, body_factory, **kwargs):
+    system.kernel.create_thread(
+        "driver", prio=1, home="app0", body_factory=body_factory
+    )
+    system.run(max_steps=kwargs.get("max_steps", 10_000))
+
+
+class TestTidProxy:
+    def test_tid_overridden(self, thread):
+        proxy = TidProxy(thread, 42)
+        assert proxy.tid == 42
+        assert thread.tid != 42
+
+    def test_other_attributes_forwarded(self, thread):
+        proxy = TidProxy(thread, 42)
+        assert proxy.name == thread.name
+        assert proxy.regs is thread.regs
+
+    def test_attribute_writes_forwarded(self, thread):
+        proxy = TidProxy(thread, 42)
+        proxy.cycles += 10
+        assert thread.cycles == 10
+
+    def test_executing_in_forwarded(self, thread):
+        proxy = TidProxy(thread, 42)
+        proxy.executing_in = "lock"
+        assert thread.executing_in == "lock"
+
+
+class TestTrackingHooks:
+    def test_create_tracks_descriptor(self, system, thread):
+        stub = system.stub("app0", "lock")
+        lid = stub.invoke(system.kernel, thread, "lock_alloc", ("app0",))
+        entry = stub.table.lookup(lid)
+        assert entry is not None
+        assert entry.sid == lid
+        assert entry.state == INIT_STATE
+        assert entry.meta[OWNER_KEY] == thread.tid
+        assert entry.meta["lockid"] == lid
+
+    def test_sticky_updates_owner_and_state(self, system, thread):
+        stub = system.stub("app0", "lock")
+        lid = stub.invoke(system.kernel, thread, "lock_alloc", ("app0",))
+        stub.invoke(system.kernel, thread, "lock_take", ("app0", lid))
+        entry = stub.table.lookup(lid)
+        assert entry.state == "lock_take"
+        assert entry.meta[OWNER_KEY] == thread.tid
+
+    def test_terminal_removes_tracking(self, system, thread):
+        stub = system.stub("app0", "lock")
+        lid = stub.invoke(system.kernel, thread, "lock_alloc", ("app0",))
+        stub.invoke(system.kernel, thread, "lock_free", ("app0", lid))
+        assert stub.table.lookup(lid) is None
+
+    def test_readonly_does_not_change_state(self, system, thread):
+        stub = system.stub("app0", "ramfs")
+        fd = stub.invoke(system.kernel, thread, "tsplit", ("app0", 1, "x"))
+        stub.invoke(system.kernel, thread, "twrite", ("app0", fd, b"ab"))
+        assert stub.table.lookup(fd).state == INIT_STATE
+
+    def test_retval_add_accumulates_offset(self, system, thread):
+        stub = system.stub("app0", "ramfs")
+        fd = stub.invoke(system.kernel, thread, "tsplit", ("app0", 1, "x"))
+        stub.invoke(system.kernel, thread, "twrite", ("app0", fd, b"abc"))
+        stub.invoke(system.kernel, thread, "twrite", ("app0", fd, b"de"))
+        assert stub.table.lookup(fd).meta["offset"] == 5
+
+    def test_tseek_sets_offset_meta(self, system, thread):
+        stub = system.stub("app0", "ramfs")
+        fd = stub.invoke(system.kernel, thread, "tsplit", ("app0", 1, "x"))
+        stub.invoke(system.kernel, thread, "twrite", ("app0", fd, b"abc"))
+        stub.invoke(system.kernel, thread, "tseek", ("app0", fd, 1))
+        assert stub.table.lookup(fd).meta["offset"] == 1
+
+    def test_parent_link_tracked(self, system, thread):
+        stub = system.stub("app0", "mm")
+        va = stub.invoke(system.kernel, thread, "mman_get_page", ("app0", 0x4000))
+        dst = stub.invoke(
+            system.kernel, thread,
+            "mman_alias_page", ("app0", 0x4000, "app1", 0x8000),
+        )
+        entry = stub.table.lookup(dst)
+        assert entry.parent_cdesc == va
+        assert entry.create_fn == "mman_alias_page"
+
+    def test_d0_removes_subtree_tracking(self, system, thread):
+        stub = system.stub("app0", "mm")
+        stub.invoke(system.kernel, thread, "mman_get_page", ("app0", 0x4000))
+        stub.invoke(
+            system.kernel, thread,
+            "mman_alias_page", ("app0", 0x4000, "app1", 0x8000),
+        )
+        stub.invoke(system.kernel, thread, "mman_release_page", ("app0", 0x4000))
+        assert stub.table.lookup(0x4000) is None
+        assert stub.table.lookup(0x8000) is None
+
+    def test_tracked_ops_counted(self, system, thread):
+        stub = system.stub("app0", "lock")
+        stub.invoke(system.kernel, thread, "lock_alloc", ("app0",))
+        assert stub.stats["tracked_ops"] >= 1
+
+
+class TestRecoveryEngine:
+    def test_recover_after_reboot_translates_sid(self, system, thread):
+        kernel = system.kernel
+        stub = system.stub("app0", "lock")
+        lid = stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        # Create a second lock so the replayed alloc gets a different id.
+        stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        kernel.component("lock").micro_reboot()
+        assert stub.invoke(kernel, thread, "lock_take", ("app0", lid)) == 0
+        entry = stub.table.lookup(lid)
+        assert entry.cdesc == lid  # client-visible id stable
+        assert entry.recovered_epoch == 1
+
+    def test_recovery_restores_taken_state(self, system, thread):
+        kernel = system.kernel
+        stub = system.stub("app0", "lock")
+        lid = stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        stub.invoke(kernel, thread, "lock_take", ("app0", lid))
+        kernel.component("lock").micro_reboot()
+        # Releasing after the reboot requires the walk to have re-taken
+        # the lock on behalf of the tracked owner.
+        assert stub.invoke(kernel, thread, "lock_release", ("app0", lid)) == 0
+
+    def test_recovery_restores_file_offset(self, system, thread):
+        kernel = system.kernel
+        stub = system.stub("app0", "ramfs")
+        fd = stub.invoke(kernel, thread, "tsplit", ("app0", 1, "f"))
+        stub.invoke(kernel, thread, "twrite", ("app0", fd, b"abcdef"))
+        stub.invoke(kernel, thread, "tseek", ("app0", fd, 2))
+        kernel.component("ramfs").micro_reboot()
+        # Restore step replays tseek with the tracked offset.
+        data = stub.invoke(kernel, thread, "tread", ("app0", fd, 2))
+        assert data == b"cd"
+
+    def test_d1_parent_recovered_first(self, system, thread):
+        kernel = system.kernel
+        stub = system.stub("app0", "mm")
+        stub.invoke(kernel, thread, "mman_get_page", ("app0", 0x4000))
+        # Same-component alias chain (an alias into another component is
+        # revoked through its root, as in the MM workload).
+        stub.invoke(
+            kernel, thread, "mman_alias_page", ("app0", 0x4000, "app0", 0x8000)
+        )
+        kernel.component("mm").micro_reboot()
+        assert (
+            stub.invoke(kernel, thread, "mman_release_page", ("app0", 0x8000))
+            == 0
+        )
+        mm = kernel.component("mm")
+        # Parent recovered (D1) and still present; child released.
+        assert mm.has_mapping("app0", 0x4000)
+        assert not mm.has_mapping("app0", 0x8000)
+
+    def test_recover_all_eager(self, system, thread):
+        kernel = system.kernel
+        stub = system.stub("app0", "lock")
+        for __ in range(3):
+            stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        kernel.component("lock").micro_reboot()
+        assert stub.recover_all(kernel, thread) == 3
+
+    def test_recovery_samples_recorded(self, system, thread):
+        kernel = system.kernel
+        stub = system.stub("app0", "lock")
+        lid = stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        kernel.component("lock").micro_reboot()
+        stub.invoke(kernel, thread, "lock_take", ("app0", lid))
+        samples = system.recovery_manager.recovery_samples.get("lock")
+        assert samples and all(c > 0 for c in samples)
+
+    def test_untracked_fn_passthrough(self, system, thread):
+        stub = system.stub("app0", "storage")
+        # No stub registered for storage; but lock stub passes through
+        # unknown functions too.
+        lock_stub = system.stub("app0", "lock")
+        result = lock_stub.invoke(
+            system.kernel, thread, "lock_alloc", ("app0",)
+        )
+        assert isinstance(result, int)
+
+
+class TestG0GlobalDescriptors:
+    def test_cross_component_stale_id_recovered(self, system):
+        kernel = system.kernel
+        creator = kernel.create_thread(
+            "creator", prio=1, home="app0", body_factory=lambda s, t: iter(())
+        )
+        other = kernel.create_thread(
+            "other", prio=1, home="app1", body_factory=lambda s, t: iter(())
+        )
+        app0_stub = system.stub("app0", "event")
+        app1_stub = system.stub("app1", "event")
+        evtid = app0_stub.invoke(kernel, creator, "evt_split", ("app0", 0, 1))
+        # Another component triggers the same (global) descriptor.
+        assert app1_stub.invoke(
+            kernel, other, "evt_trigger", ("app1", evtid)
+        ) == 0
+        kernel.component("event").micro_reboot()
+        # app1 holds a stale id and no tracking: the server stub resolves
+        # it through storage and an upcall into app0's stub (G0 + U0).
+        assert app1_stub.invoke(
+            kernel, other, "evt_trigger", ("app1", evtid)
+        ) == 0
+        server_stub = kernel.server_stub_for("event")
+        assert server_stub.stats["einval_recoveries"] >= 1
+
+    def test_creator_recorded_in_storage(self, system, thread):
+        kernel = system.kernel
+        stub = system.stub("app0", "event")
+        evtid = stub.invoke(kernel, thread, "evt_split", ("app0", 0, 1))
+        storage = kernel.component("storage")
+        assert storage.lookup_creator(thread, "event", evtid) == "app0"

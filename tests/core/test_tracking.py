@@ -1,0 +1,82 @@
+"""Unit tests for client-side descriptor tracking structures."""
+
+import pytest
+
+from repro.core.runtime.tracking import DescriptorEntry, TrackingTable
+from repro.core.state_machine import INIT_STATE
+from repro.errors import RecoveryError
+
+
+def entry(cdesc, sid=None, epoch=0):
+    return DescriptorEntry(cdesc=cdesc, sid=sid or cdesc, create_fn="mk", epoch=epoch)
+
+
+class TestEntry:
+    def test_initial_state(self):
+        e = entry(1)
+        assert e.state == INIT_STATE
+        assert e.meta == {}
+        assert not e.closed
+
+
+class TestTable:
+    def test_add_lookup(self):
+        table = TrackingTable()
+        e = entry(1)
+        table.add(e)
+        assert table.lookup(1) is e
+        assert table.lookup(2) is None
+        assert len(table) == 1
+
+    def test_require(self):
+        table = TrackingTable()
+        with pytest.raises(RecoveryError):
+            table.require(1)
+        e = entry(1)
+        table.add(e)
+        assert table.require(1) is e
+
+    def test_remove_unlinks_parent(self):
+        table = TrackingTable()
+        parent = entry(1)
+        child = entry(2)
+        table.add(parent)
+        table.add(child)
+        table.link_parent(2, 1)
+        assert 2 in parent.children
+        table.remove(2)
+        assert 2 not in parent.children
+
+    def test_subtree_collects_descendants(self):
+        table = TrackingTable()
+        for cdesc in (1, 2, 3, 4):
+            table.add(entry(cdesc))
+        table.link_parent(2, 1)
+        table.link_parent(3, 2)
+        # 4 unrelated
+        subtree = {e.cdesc for e in table.subtree(1)}
+        assert subtree == {1, 2, 3}
+
+    def test_subtree_handles_missing_root(self):
+        assert TrackingTable().subtree(9) == []
+
+    def test_entries_by_sid(self):
+        table = TrackingTable()
+        e = entry(1)
+        e.sid = 77
+        table.add(e)
+        assert table.entries_by_sid(77) == [e]
+        assert table.entries_by_sid(1) == []
+
+    def test_iteration_and_all_cdescs(self):
+        table = TrackingTable()
+        table.add(entry(1))
+        table.add(entry(2))
+        assert sorted(e.cdesc for e in table) == [1, 2]
+        assert sorted(table.all_cdescs()) == [1, 2]
+
+    def test_link_parent_to_untracked_parent(self):
+        table = TrackingTable()
+        table.add(entry(2))
+        table.link_parent(2, 99)  # parent not tracked: link recorded anyway
+        assert table.lookup(2).parent_cdesc == 99

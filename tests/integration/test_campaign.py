@@ -1,0 +1,128 @@
+"""Integration tests for the SWIFI campaign machinery (Table II)."""
+
+import pytest
+
+from repro.swifi import SwifiController
+from repro.swifi.campaign import CampaignRunner, format_table2, run_full_campaign
+from repro.swifi.classify import Outcome, OutcomeCounter
+from repro.system import build_system
+
+
+class TestInjector:
+    def test_arm_defaults_random_reg_bit(self):
+        system = build_system(ft_mode="superglue")
+        swifi = SwifiController(system.kernel, seed=1)
+        plan = swifi.arm("lock")
+        assert 0 <= plan.reg < 8
+        assert 0 <= plan.bit < 32
+
+    def test_fault_mask_restricts_bits(self):
+        system = build_system(ft_mode="superglue")
+        swifi = SwifiController(system.kernel, seed=1, fault_mask=0x1)
+        for __ in range(10):
+            assert swifi.arm("lock").bit == 0
+
+    def test_empty_mask_rejected(self):
+        system = build_system(ft_mode="superglue")
+        with pytest.raises(ValueError):
+            SwifiController(system.kernel, seed=1, fault_mask=0)
+
+    def test_injection_only_in_target_component(self):
+        system = build_system(ft_mode="superglue")
+        swifi = SwifiController(system.kernel, seed=1)
+        swifi.arm("event")  # never exercised by the lock workload
+        from repro.workloads import workload_for
+
+        workload_for("lock").install(system, iterations=2)
+        system.run(max_steps=20_000)
+        assert swifi.delivered_count == 0
+        assert swifi.pending is not None
+
+    def test_after_executions_delays_delivery(self):
+        system = build_system(ft_mode="superglue")
+        swifi = SwifiController(system.kernel, seed=1)
+        swifi.arm("lock", after_executions=3)
+        from repro.workloads import workload_for
+
+        workload_for("lock").install(system, iterations=3)
+        system.run(max_steps=40_000)
+        assert swifi.pending is None  # consumed eventually
+        assert swifi.delivered_count == 1
+
+    def test_disarm(self):
+        system = build_system(ft_mode="superglue")
+        swifi = SwifiController(system.kernel, seed=1)
+        swifi.arm("lock")
+        swifi.disarm()
+        assert swifi.pending is None
+
+
+class TestOutcomeCounter:
+    def test_ratios(self):
+        counter = OutcomeCounter()
+        for __ in range(8):
+            counter.add(Outcome.RECOVERED)
+        counter.add(Outcome.NOT_RECOVERED_SEGFAULT)
+        counter.add(Outcome.UNDETECTED)
+        assert counter.injected == 10
+        assert counter.activated == 9
+        assert counter.recovered == 8
+        assert counter.activation_ratio == pytest.approx(0.9)
+        assert counter.recovery_success_rate == pytest.approx(8 / 9)
+
+    def test_empty_counter(self):
+        counter = OutcomeCounter()
+        assert counter.activation_ratio == 0.0
+        assert counter.recovery_success_rate == 0.0
+
+    def test_outcome_activated_flags(self):
+        assert not Outcome.UNDETECTED.activated
+        assert Outcome.RECOVERED.activated
+        assert Outcome.NOT_RECOVERED_OTHER.activated
+
+
+class TestCampaignRunner:
+    def test_calibration_counts_traces(self):
+        runner = CampaignRunner("lock", n_faults=1, seed=0)
+        horizon = runner.calibrate()
+        assert horizon > 0
+
+    def test_small_campaign_classifies_everything(self):
+        runner = CampaignRunner("lock", n_faults=20, seed=3)
+        result = runner.run()
+        assert result.injected == 20
+        row = result.row()
+        total = (
+            row["recovered"]
+            + row["not_recovered_segfault"]
+            + row["not_recovered_propagated"]
+            + row["not_recovered_other"]
+            + row["undetected"]
+        )
+        assert total == 20
+
+    def test_campaign_mostly_recovers(self):
+        runner = CampaignRunner("timer", n_faults=25, seed=4)
+        result = runner.run()
+        assert result.counter.recovery_success_rate >= 0.6
+
+    def test_progress_callback(self):
+        seen = []
+        runner = CampaignRunner("lock", n_faults=3, seed=5)
+        runner.run(progress=lambda i, n, o: seen.append((i, n)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_full_campaign_and_formatting(self):
+        results = run_full_campaign(
+            services=["lock", "timer"], n_faults=8, seed=6
+        )
+        table = format_table2(results)
+        assert "lock" in table and "timer" in table
+        assert "Recovered" in table
+
+    def test_unprotected_mode_crashes_instead(self):
+        runner = CampaignRunner("lock", ft_mode="none", n_faults=10, seed=7)
+        result = runner.run()
+        # Without recovery, activated faults are never recovered.
+        assert result.counter.recovered == 0
+        assert result.counter.activated > 0

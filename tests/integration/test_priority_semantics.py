@@ -1,0 +1,104 @@
+"""On-demand recovery priority semantics (the T1 argument).
+
+Section II-C: on-demand recovery runs "at the priority of the thread
+accessing the descriptor", lessening priority-inversion interference on
+high-priority work.  These tests demonstrate the property directly: a
+high-priority thread's post-fault latency depends only on *its own*
+descriptors, not on how much low-priority state the fault invalidated.
+"""
+
+import pytest
+
+from repro.composite.thread import Invoke
+from repro.system import build_system
+
+
+def _setup(n_low_prio_descriptors):
+    system = build_system(ft_mode="superglue", recovery_mode="ondemand")
+    kernel = system.kernel
+    low = kernel.create_thread(
+        "low", prio=9, home="app0", body_factory=lambda s, t: iter(())
+    )
+    high = kernel.create_thread(
+        "high", prio=1, home="app1", body_factory=lambda s, t: iter(())
+    )
+    low_stub = system.stub("app0", "lock")
+    high_stub = system.stub("app1", "lock")
+    for __ in range(n_low_prio_descriptors):
+        low_stub.invoke(kernel, low, "lock_alloc", ("app0",))
+    high_lid = high_stub.invoke(kernel, high, "lock_alloc", ("app1",))
+    return system, kernel, high, high_stub, high_lid
+
+
+def _fault(kernel):
+    kernel.vector_fault(
+        kernel.component("lock"),
+        type("F", (), {"kind": "assertion", "recoverable": True})(),
+    )
+
+
+class TestOnDemandPriority:
+    def test_high_prio_latency_independent_of_low_prio_state(self):
+        latencies = {}
+        for n_low in (2, 40):
+            system, kernel, high, stub, lid = _setup(n_low)
+            kernel.current = high
+            _fault(kernel)
+            before = kernel.clock.now
+            stub.invoke(kernel, high, "lock_take", ("app1", lid))
+            latencies[n_low] = kernel.clock.now - before
+        # The high-priority thread recovers only its own descriptor; forty
+        # stale low-priority descriptors add nothing to its path.
+        assert latencies[40] == latencies[2]
+
+    def test_eager_mode_couples_latencies(self):
+        """Contrast: eager recovery makes fault-time work grow with the
+        amount of (anyone's) live state."""
+        costs = {}
+        for n_low in (2, 40):
+            system = build_system(ft_mode="superglue", recovery_mode="eager")
+            kernel = system.kernel
+            low = kernel.create_thread(
+                "low", prio=9, home="app0", body_factory=lambda s, t: iter(())
+            )
+            stub = system.stub("app0", "lock")
+            for __ in range(n_low):
+                stub.invoke(kernel, low, "lock_alloc", ("app0",))
+            kernel.current = low
+            before = kernel.clock.now
+            _fault(kernel)
+            costs[n_low] = kernel.clock.now - before
+        assert costs[40] > costs[2] * 5
+
+    def test_recovery_charged_to_accessing_thread(self):
+        system, kernel, high, stub, lid = _setup(3)
+        kernel.current = high
+        _fault(kernel)
+        cycles_before = high.cycles
+        stub.invoke(kernel, high, "lock_take", ("app1", lid))
+        # The walk's invocations are charged to the accessing thread.
+        assert high.cycles > cycles_before
+
+
+class TestSchedulingOrderAfterFault:
+    def test_high_prio_thread_runs_first_after_t0_wakeup(self):
+        """After a fault wakes blocked threads, the run queue still serves
+        strictly by priority — recovery work does not jump the queue."""
+        system = build_system(ft_mode="superglue")
+        kernel = system.kernel
+        order = []
+
+        def hi_body(sys_, thread):
+            lid = yield Invoke("lock", "lock_alloc", "app0")
+            yield Invoke("lock", "lock_take", "app0", lid)
+            order.append("high")
+
+        def lo_body(sys_, thread):
+            lid = yield Invoke("lock", "lock_alloc", "app0")
+            yield Invoke("lock", "lock_take", "app0", lid)
+            order.append("low")
+
+        kernel.create_thread("lo", prio=9, home="app0", body_factory=lo_body)
+        kernel.create_thread("hi", prio=1, home="app0", body_factory=hi_body)
+        kernel.run(max_steps=100)
+        assert order[0] == "high"

@@ -1,0 +1,114 @@
+"""Integration tests for the componentized web server (Fig. 7 workload)."""
+
+import pytest
+
+from repro.webserver.apache_model import ApacheModel
+from repro.webserver.http import build_request, build_response, parse_request
+from repro.webserver.loadgen import LoadResult, run_webserver
+
+
+class TestHttp:
+    def test_parse_simple_get(self):
+        request = parse_request(build_request("/index.html"))
+        assert request.method == "GET"
+        assert request.path == "/index.html"
+        assert request.version == "HTTP/1.0"
+        assert request.headers["host"] == "localhost"
+
+    def test_parse_keep_alive(self):
+        request = parse_request(build_request("/", keep_alive=True))
+        assert request.keep_alive
+
+    def test_parse_rejects_garbage(self):
+        assert parse_request(b"\xff\xfe") is None
+        assert parse_request(b"GETT / HTTP/1.0\r\n\r\n") is None
+        assert parse_request(b"GET index HTTP/1.0\r\n\r\n") is None
+        assert parse_request(b"GET / SPDY/1\r\n\r\n") is None
+        assert parse_request(b"") is None
+
+    def test_parse_rejects_bad_header(self):
+        assert parse_request(b"GET / HTTP/1.0\r\nnocolon\r\n\r\n") is None
+
+    def test_build_response_format(self):
+        raw = build_response(200, b"hi")
+        text = raw.decode("ascii")
+        assert text.startswith("HTTP/1.0 200 OK\r\n")
+        assert "Content-Length: 2" in text
+        assert text.endswith("\r\n\r\nhi")
+
+    def test_build_response_unknown_status(self):
+        assert b"Unknown" in build_response(599, b"")
+
+
+class TestServerRuns:
+    @pytest.mark.parametrize("mode", ["none", "c3", "superglue"])
+    def test_all_requests_served(self, mode):
+        result = run_webserver(ft_mode=mode, n_requests=120)
+        assert result.served == 120
+        assert result.errors == 0
+        assert result.throughput_rps > 0
+
+    def test_ft_modes_slower_than_base(self):
+        base = run_webserver(ft_mode="none", n_requests=200)
+        sg = run_webserver(ft_mode="superglue", n_requests=200)
+        c3 = run_webserver(ft_mode="c3", n_requests=200)
+        assert sg.throughput_rps < base.throughput_rps
+        assert c3.throughput_rps < base.throughput_rps
+        # SuperGlue within ~3 percentage points of C^3 (paper: 11.84 vs 10.5).
+        assert sg.throughput_rps <= c3.throughput_rps * 1.01
+
+    def test_slowdown_in_paper_band(self):
+        base = run_webserver(ft_mode="none", n_requests=300)
+        sg = run_webserver(ft_mode="superglue", n_requests=300)
+        slowdown = 1 - sg.throughput_rps / base.throughput_rps
+        assert 0.07 <= slowdown <= 0.18  # paper: 11.84%
+
+    def test_faulted_run_recovers_and_serves_all(self):
+        result = run_webserver(
+            ft_mode="superglue", n_requests=300, with_faults=True, seed=3
+        )
+        assert result.served == 300
+        assert result.faults_injected >= 2
+        assert result.reboots >= 1
+
+    def test_fault_slowdown_small(self):
+        clean = run_webserver(ft_mode="superglue", n_requests=300)
+        faulted = run_webserver(
+            ft_mode="superglue", n_requests=300, with_faults=True, seed=3
+        )
+        # Recovery runs in parallel with serving: the extra slowdown over
+        # the clean FT run is modest (paper: 13.6% total vs 11.84% clean).
+        assert faulted.throughput_rps > clean.throughput_rps * 0.9
+
+    def test_series_monotonic(self):
+        result = run_webserver(ft_mode="superglue", n_requests=50)
+        served = [count for (__, count) in result.series]
+        assert served == sorted(served)
+        assert result.dip_recovery_cycles() is not None
+
+
+class TestApacheModel:
+    def test_apache_faster_than_composite(self):
+        base = run_webserver(ft_mode="none", n_requests=200)
+        apache = ApacheModel().throughput_rps(200)
+        assert apache > base.throughput_rps
+
+    def test_apache_ratio_matches_paper(self):
+        base = run_webserver(ft_mode="none", n_requests=300)
+        apache = ApacheModel().throughput_rps(300)
+        ratio = apache / base.throughput_rps
+        assert 1.0 < ratio < 1.2  # paper: 17600/16200 ~ 1.086
+
+    def test_deterministic_per_seed(self):
+        model = ApacheModel()
+        assert model.throughput_rps(100, seed=1) == model.throughput_rps(100, seed=1)
+
+
+class TestLoadResult:
+    def test_throughput_zero_duration(self):
+        result = LoadResult(
+            requests=0, served=0, errors=0, duration_cycles=0,
+            reboots=0, ft_mode="none",
+        )
+        assert result.throughput_rps == 0.0
+        assert result.dip_recovery_cycles() is None

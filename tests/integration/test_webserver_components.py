@@ -1,0 +1,99 @@
+"""Tests for the web server's application-level components."""
+
+import pytest
+
+from repro.system import build_system
+from repro.webserver.components import (
+    ConnectionManagerComponent,
+    HttpParserComponent,
+)
+from repro.webserver.http import build_request
+from repro.webserver.loadgen import run_webserver
+from repro.webserver.server import WebServer
+
+
+@pytest.fixture
+def setup():
+    system = build_system(ft_mode="none")
+    kernel = system.kernel
+    kernel.register_component(HttpParserComponent())
+    kernel.register_component(ConnectionManagerComponent())
+    kernel.grant_all_caps()
+    thread = kernel.create_thread(
+        "t", prio=1, home="app0", body_factory=lambda s, t: iter(())
+    )
+    return system, kernel, thread
+
+
+class TestHttpParserComponent:
+    def test_parses_valid_request(self, setup):
+        __, kernel, thread = setup
+        parser = kernel.component("httpparse")
+        request = parser.http_parse(thread, build_request("/a.html"))
+        assert request.path == "/a.html"
+        assert parser.parsed == 1
+
+    def test_rejects_garbage(self, setup):
+        __, kernel, thread = setup
+        parser = kernel.component("httpparse")
+        assert parser.http_parse(thread, b"\xff\xff") is None
+        assert parser.rejected == 1
+
+    def test_charges_by_length(self, setup):
+        __, kernel, thread = setup
+        parser = kernel.component("httpparse")
+        t0 = kernel.clock.now
+        parser.http_parse(thread, build_request("/x"))
+        short = kernel.clock.now - t0
+        t1 = kernel.clock.now
+        parser.http_parse(thread, build_request("/" + "y" * 900))
+        long = kernel.clock.now - t1
+        assert long > short
+
+
+class TestConnectionManager:
+    def test_open_note_close(self, setup):
+        __, kernel, thread = setup
+        connmgr = kernel.component("connmgr")
+        conn = connmgr.conn_open(thread, "10.0.0.1")
+        assert connmgr.conn_count(thread) == 1
+        assert connmgr.conn_note(thread, conn, "/index.html") == 0
+        assert connmgr.stats["/index.html"] == 1
+        assert connmgr.conn_close(thread, conn) == 0
+        assert connmgr.conn_count(thread) == 0
+
+    def test_unknown_connection(self, setup):
+        __, kernel, thread = setup
+        connmgr = kernel.component("connmgr")
+        assert connmgr.conn_note(thread, 99, "/") == -1
+        assert connmgr.conn_close(thread, 99) == -1
+
+
+class TestComponentizedPipeline:
+    def test_server_registers_components(self):
+        system = build_system(ft_mode="none")
+        WebServer(system).install()
+        assert "httpparse" in system.kernel.components
+        assert "connmgr" in system.kernel.components
+
+    def test_requests_flow_through_components(self):
+        result = run_webserver(ft_mode="none", n_requests=30)
+        assert result.served == 30
+
+    def test_connections_all_closed_after_run(self):
+        system = build_system(ft_mode="none")
+        server = WebServer(system)
+        server.install()
+        from repro.webserver.loadgen import LoadGenerator
+
+        LoadGenerator(n_requests=25).install(system, server)
+        system.run(max_steps=1_000_000)
+        connmgr = system.kernel.component("connmgr")
+        assert connmgr.active == {}
+        assert sum(connmgr.stats.values()) == 25
+
+    def test_double_install_is_idempotent(self):
+        system = build_system(ft_mode="none")
+        WebServer(system).install()
+        WebServer(system, n_workers=1).install()  # no duplicate components
+        assert list(system.kernel.components).count("httpparse") == 1

@@ -1,0 +1,86 @@
+"""Property tests: MM mapping-tree invariants under random op sequences."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import BlockThread, InvalidDescriptor
+from repro.system import build_system
+
+PAGES = [0x4000, 0x5000, 0x6000, 0x7000]
+ALIAS = [0x8000, 0x9000, 0xA000]
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("get"), st.sampled_from(PAGES)),
+        st.tuples(
+            st.just("alias"), st.sampled_from(PAGES), st.sampled_from(ALIAS)
+        ),
+        st.tuples(st.just("release"), st.sampled_from(PAGES + ALIAS)),
+    ),
+    max_size=25,
+)
+
+
+def check_tree_invariants(mm):
+    for key, node in mm.mappings.items():
+        # Parent links are symmetric with children sets.
+        if node.parent is not None:
+            assert node.parent in mm.mappings
+            assert key in mm.mappings[node.parent].children
+            # Child shares the parent's frame.
+            assert node.frame == mm.mappings[node.parent].frame
+        for child in node.children:
+            assert child in mm.mappings
+            assert mm.mappings[child].parent == key
+
+
+@given(sequence=ops)
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_mapping_tree_invariants_hold(sequence):
+    system = build_system(ft_mode="none")
+    mm = system.service("mm")
+    thread = system.kernel.create_thread(
+        "t", prio=1, home="app0", body_factory=lambda s, t: iter(())
+    )
+    for op in sequence:
+        try:
+            if op[0] == "get":
+                mm.mman_get_page(thread, "app0", op[1])
+            elif op[0] == "alias":
+                mm.mman_alias_page(thread, "app0", op[1], "app0", op[2])
+            else:
+                mm.mman_release_page(thread, "app0", op[1])
+        except InvalidDescriptor:
+            pass
+        check_tree_invariants(mm)
+
+
+@given(sequence=ops, seed=st.integers(0, 50))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_mapping_tree_invariants_hold_across_reboot_recovery(sequence, seed):
+    system = build_system(ft_mode="superglue")
+    kernel = system.kernel
+    mm = system.service("mm")
+    thread = kernel.create_thread(
+        "t", prio=1, home="app0", body_factory=lambda s, t: iter(())
+    )
+    stub = system.stub("app0", "mm")
+    for index, op in enumerate(sequence):
+        try:
+            if op[0] == "get":
+                stub.invoke(kernel, thread, "mman_get_page", ("app0", op[1]))
+            elif op[0] == "alias":
+                stub.invoke(
+                    kernel, thread,
+                    "mman_alias_page", ("app0", op[1], "app0", op[2]),
+                )
+            else:
+                stub.invoke(
+                    kernel, thread, "mman_release_page", ("app0", op[1])
+                )
+        except InvalidDescriptor:
+            pass
+        if index == len(sequence) // 2:
+            mm.micro_reboot()
+        check_tree_invariants(mm)

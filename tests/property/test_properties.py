@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.composite.machine import (
+    EAX,
+    NUM_REGS,
+    Injection,
+    RegisterFile,
+    Trace,
+    execute_trace,
+)
+from repro.composite.memory import MemoryImage
+from repro.core.state_machine import INIT_STATE, DescriptorStateMachine
+from repro.errors import SimulatedFault
+
+BASE = 0x0300_0000
+
+fn_names = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=6),
+    min_size=2,
+    max_size=6,
+    unique=True,
+)
+
+
+# ---------------------------------------------------------------------------
+# State machines: every reachable state has a valid recovery walk, and the
+# walk actually transits the machine from s0 to the expected state.
+# ---------------------------------------------------------------------------
+@given(names=fn_names, data=st.data())
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+def test_random_state_machine_walks_reach_expected_state(names, data):
+    creation = names[0]
+    others = names[1:]
+    # Random transition relation over the functions, always allowing each
+    # non-creation fn to follow creation (so everything is reachable).
+    transitions = [(creation, fn) for fn in others]
+    for a in names:
+        for b in others:
+            if data.draw(st.booleans(), label=f"edge {a}->{b}"):
+                transitions.append((a, b))
+    sm = DescriptorStateMachine(
+        functions=names,
+        transitions=transitions,
+        creation_fns=[creation],
+        terminal_fns=[],
+    )
+    sm.validate()
+    for target in others:
+        walk = sm.recovery_walk(target)
+        assert walk[0] == creation
+        # Replay the walk through sigma and confirm we land on target.
+        state = INIT_STATE
+        for fn in walk:
+            next_state = sm.sigma(state, fn)
+            assert next_state is not None, (state, fn, transitions)
+            state = next_state
+        assert state == target
+
+
+@given(names=fn_names)
+@settings(max_examples=30)
+def test_walk_to_init_is_always_creation_only(names):
+    creation = names[0]
+    transitions = [(creation, fn) for fn in names[1:]]
+    sm = DescriptorStateMachine(
+        functions=names,
+        transitions=transitions,
+        creation_fns=[creation],
+        terminal_fns=[],
+    )
+    assert sm.recovery_walk(INIT_STATE) == [creation]
+
+
+# ---------------------------------------------------------------------------
+# Memory: micro-reboot always restores the frozen image exactly.
+# ---------------------------------------------------------------------------
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=16, max_value=1000),
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=50)
+def test_micro_reboot_restores_exact_image(writes):
+    image = MemoryImage(BASE, 2048)
+    for offset, value in writes[: len(writes) // 2]:
+        image.write_word(BASE + offset, value)
+    image.freeze_good_image()
+    frozen = list(image.words)
+    for offset, value in writes:
+        image.write_word(BASE + offset, value ^ 0xFFFF, tainted=True)
+    image.micro_reboot()
+    assert image.words == frozen
+    assert not any(image.is_tainted(BASE + off) for off, __ in writes)
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=32), max_size=40))
+@settings(max_examples=50)
+def test_allocations_never_overlap(sizes):
+    image = MemoryImage(BASE, 8192)
+    spans = []
+    for size in sizes:
+        addr = image.alloc(size)
+        for other_start, other_end in spans:
+            assert addr + size <= other_start or addr >= other_end
+        spans.append((addr, addr + size))
+
+
+# ---------------------------------------------------------------------------
+# Fault model: a magic-check trace detects *any* single-bit flip in the
+# address register before the check, or is harmless.
+# ---------------------------------------------------------------------------
+@given(
+    bit=st.integers(min_value=0, max_value=31),
+    reg=st.integers(min_value=0, max_value=NUM_REGS - 1),
+    op_index=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=120)
+def test_single_bit_flip_never_silently_corrupts_checked_record(bit, reg, op_index):
+    image = MemoryImage(BASE, 2048)
+    record = image.alloc_record(0x5AFE, 2)
+    image.write_word(record + 1, 7)
+    regs = RegisterFile()
+    regs.write(6, image.stack_top)  # ESP
+    regs.write(7, image.stack_top)  # EBP
+    trace = (
+        Trace()
+        .li(EAX, record)
+        .chk(EAX, 0, 0x5AFE)
+        .ld(1, EAX, 1)
+        .assert_range(1, 7, 7)
+        .chk(EAX, 0, 0x5AFE)
+        .ret(1)
+    )
+    injection = Injection(reg=reg, bit=bit, op_index=op_index)
+    try:
+        result = execute_trace(trace, regs, image, injection=injection)
+    except SimulatedFault:
+        return  # detected: fail-stop, as intended
+    if result.tainted:
+        return  # escapes to the boundary check
+    # Undetected flips must not have changed the observable value.
+    assert result.value == 7
+
+
+# ---------------------------------------------------------------------------
+# Workload-level: descriptor recovery is idempotent — recovering twice is
+# the same as recovering once.
+# ---------------------------------------------------------------------------
+@given(locks=st.integers(min_value=1, max_value=5), seed=st.integers(0, 100))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_recovery_idempotent(locks, seed):
+    from repro.system import build_system
+
+    system = build_system(ft_mode="superglue")
+    kernel = system.kernel
+    thread = kernel.create_thread(
+        "t", prio=1, home="app0", body_factory=lambda s, t: iter(())
+    )
+    stub = system.stub("app0", "lock")
+    lids = [
+        stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        for __ in range(locks)
+    ]
+    kernel.component("lock").micro_reboot()
+    for lid in lids:
+        entry = stub.table.lookup(lid)
+        stub.recover_on_demand(kernel, thread, entry)
+        sid_after_first = entry.sid
+        stub.recover_on_demand(kernel, thread, entry)
+        assert entry.sid == sid_after_first
+    lock = kernel.component("lock")
+    assert len(lock.locks) == locks

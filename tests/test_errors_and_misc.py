@@ -1,0 +1,101 @@
+"""Tests for the error hierarchy and small shared pieces."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AssertionFault,
+    BlockThread,
+    CapabilityError,
+    ConfigurationError,
+    CorruptionDetected,
+    IDLSyntaxError,
+    IDLValidationError,
+    InvalidDescriptor,
+    PropagatedFault,
+    RecoveryError,
+    ReproError,
+    SegmentationFault,
+    SimulatedFault,
+    SystemCrash,
+    SystemHang,
+)
+
+
+class TestHierarchy:
+    def test_library_errors_are_repro_errors(self):
+        for cls in (
+            ConfigurationError,
+            CapabilityError,
+            IDLSyntaxError,
+            IDLValidationError,
+            RecoveryError,
+            InvalidDescriptor,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_simulated_faults_are_not_repro_errors(self):
+        # Fault-model exceptions are a separate family: they model the
+        # hardware, not bugs in the library.
+        assert not issubclass(SimulatedFault, ReproError)
+
+    def test_fault_kinds(self):
+        assert SegmentationFault("x").kind == "segfault"
+        assert AssertionFault("x").kind == "assertion"
+        assert CorruptionDetected("x").kind == "corruption"
+        assert SystemHang("x").kind == "hang"
+        assert SystemCrash("x").kind == "crash"
+        assert PropagatedFault("x").kind == "propagated"
+
+    def test_recoverability_defaults(self):
+        assert SegmentationFault("x").recoverable
+        assert AssertionFault("x").recoverable
+        assert not SystemHang("x").recoverable
+        assert not SystemCrash("x").recoverable
+        assert not PropagatedFault("x").recoverable
+
+    def test_fault_component_attribute(self):
+        fault = AssertionFault("x", component="lock")
+        assert fault.component == "lock"
+
+    def test_invalid_descriptor_payload(self):
+        error = InvalidDescriptor(42, component="mm")
+        assert error.desc_id == 42
+        assert error.component == "mm"
+        assert "42" in str(error)
+
+    def test_idl_syntax_error_position(self):
+        error = IDLSyntaxError("bad", line=3, column=7)
+        assert error.line == 3
+        assert "line 3" in str(error)
+
+
+class TestBlockThread:
+    def test_payload(self):
+        on_wake = lambda t, tok, to: 1  # noqa: E731
+        block = BlockThread("lock", ("lock", 1), timeout=99, on_wake=on_wake)
+        assert block.component == "lock"
+        assert block.token == ("lock", 1)
+        assert block.timeout == 99
+        assert block.on_wake is on_wake
+
+    def test_is_not_a_fault(self):
+        assert not issubclass(BlockThread, SimulatedFault)
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_thread_repr(self):
+        from repro.composite.thread import Invoke, SimThread, Yield
+
+        thread = SimThread(1, "t", 5, "app0", lambda s, t: iter(()))
+        assert "tid=1" in repr(thread)
+        assert "lock.lock_take" in repr(Invoke("lock", "lock_take", 1))
+        assert repr(Yield()) == "Yield()"
+
+    def test_fault_sentinel_repr(self):
+        from repro.composite.kernel import FAULT
+
+        assert repr(FAULT) == "<FAULT>"

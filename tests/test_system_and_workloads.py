@@ -1,0 +1,133 @@
+"""Tests for the system builder, workloads registry, and analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    c3_stub_loc,
+    loc_of_source,
+    loc_table,
+    measure_recovery_overhead,
+    measure_tracking_overhead,
+)
+from repro.analysis.loc import format_loc_table
+from repro.errors import ConfigurationError
+from repro.idl_specs import SERVICES, load_all, load_idl
+from repro.system import build_system, compile_all_interfaces
+from repro.workloads import WORKLOADS, workload_for
+
+
+class TestSystemBuilder:
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            build_system(ft_mode="bogus")
+
+    def test_none_mode_has_no_stubs(self):
+        system = build_system(ft_mode="none")
+        assert system.client_stubs == {}
+        assert system.recovery_manager is None
+
+    def test_superglue_mode_wires_all_stubs(self):
+        system = build_system(ft_mode="superglue")
+        for app in system.apps:
+            for service in SERVICES:
+                assert system.stub(app, service) is not None
+        for service in SERVICES:
+            if system.compiled[service].ir.model.desc_global:
+                assert system.kernel.server_stub_for(service) is not None
+
+    def test_c3_mode_wires_stubs(self):
+        system = build_system(ft_mode="c3")
+        for service in SERVICES:
+            assert system.stub("app0", service) is not None
+        assert system.kernel.server_stub_for("event") is not None
+
+    def test_recovery_manager_knows_interfaces(self):
+        system = build_system(ft_mode="superglue")
+        assert set(system.recovery_manager.interfaces) == set(SERVICES)
+
+    def test_recovery_mode_validated(self):
+        with pytest.raises(ConfigurationError):
+            build_system(ft_mode="superglue", recovery_mode="sometimes")
+
+    def test_compile_cache_reused(self):
+        first = compile_all_interfaces()
+        second = compile_all_interfaces()
+        assert first is second
+
+    def test_service_accessor(self):
+        system = build_system(ft_mode="none")
+        assert system.service("lock").name == "lock"
+
+
+class TestIdlSpecs:
+    def test_all_specs_load(self):
+        specs = load_all()
+        assert set(specs) == set(SERVICES)
+        for source in specs.values():
+            assert "service_global_info" in source
+
+    def test_paper_service_set(self):
+        # The six fault-injection targets of Section V-B.
+        assert set(SERVICES) == {"sched", "mm", "ramfs", "lock", "event", "timer"}
+
+
+class TestWorkloads:
+    def test_registry_covers_all_services(self):
+        covered = {w.service for w in WORKLOADS.values()}
+        assert covered == set(SERVICES)
+
+    def test_workload_for_unknown(self):
+        with pytest.raises(KeyError):
+            workload_for("nonexistent")
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_check_fails_on_empty_results(self, name):
+        system = build_system(ft_mode="none")
+        handle = WORKLOADS[name].install(system, iterations=2)
+        # Without running, results are incomplete: check must fail.
+        assert not handle.check()
+
+    def test_iterations_respected(self):
+        system = build_system(ft_mode="none")
+        handle = WORKLOADS["fs"].install(system, iterations=5)
+        system.run(max_steps=30_000)
+        assert handle.results["rounds"] == 5
+
+
+class TestAnalysis:
+    def test_loc_of_source(self):
+        assert loc_of_source("a = 1\n# comment\n\n// c\nb = 2\n") == 2
+
+    def test_c3_loc_substantial(self):
+        for service in SERVICES:
+            assert c3_stub_loc(service) > 80
+
+    def test_loc_table_shape(self):
+        table = loc_table()
+        assert set(table) == set(SERVICES)
+        for row in table.values():
+            # The declarative spec is much smaller than the hand-written
+            # stub it replaces (Fig. 6c).
+            assert row["idl_loc"] * 3 < row["c3_loc"]
+            assert row["generated_loc"] > row["idl_loc"]
+
+    def test_format_loc_table(self):
+        text = format_loc_table(loc_table())
+        assert "IDL LOC" in text and "average" in text
+
+    def test_tracking_overhead_positive(self):
+        result = measure_tracking_overhead("lock", "superglue")
+        assert result["tracked_ops"] > 0
+        assert result["per_op_us"] > 0
+        assert result["tracked_us"] > result["base_us"]
+
+    def test_tracking_overhead_c3_similar(self):
+        sg = measure_tracking_overhead("lock", "superglue")
+        c3 = measure_tracking_overhead("lock", "c3")
+        # Fig. 6a: "SuperGlue has the similar amount of overhead as C^3".
+        assert 0.5 < sg["per_op_us"] / c3["per_op_us"] < 2.0
+
+    def test_recovery_overhead_measured(self):
+        result = measure_recovery_overhead("lock", runs=8)
+        assert result["samples"] > 0
+        assert result["mean_us"] > 0
