@@ -10,9 +10,6 @@ does strictly more replay work up front (higher fault-time latency),
 while on-demand spreads the cost and only recovers what is touched.
 """
 
-import pytest
-
-from repro.swifi import SwifiController
 from repro.system import build_system
 
 N_DESCRIPTORS = 24

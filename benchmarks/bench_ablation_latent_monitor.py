@@ -10,8 +10,6 @@ compares detection latency:
 * **monitored** — the scrub pass finds it within one monitor period.
 """
 
-import pytest
-
 from repro.composite.monitor import LatentFaultMonitor
 from repro.system import build_system
 

@@ -18,12 +18,12 @@ _RESULTS = {}
 
 
 @pytest.mark.parametrize("service", SERVICES)
-def test_table2_campaign(benchmark, service, campaign_faults):
+def test_table2_campaign(benchmark, service, campaign_faults, campaign_workers):
     def run():
         runner = CampaignRunner(
             service, ft_mode="superglue", n_faults=campaign_faults, seed=1
         )
-        return runner.run()
+        return runner.run(workers=campaign_workers)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     _RESULTS[service] = result

@@ -8,6 +8,9 @@ Environment knobs:
 
 * ``REPRO_CAMPAIGN_FAULTS`` — faults per service for the Table II bench
   (default 100; the paper uses 500).
+* ``REPRO_CAMPAIGN_WORKERS`` — process-pool size for the Table II bench
+  (default 1 = in-process serial; set 0 for all CPUs).  Aggregates are
+  bit-identical across worker counts.
 * ``REPRO_WS_REQUESTS`` — requests for the Fig. 7 bench (default 800; the
   paper uses 50000).
 """
@@ -17,12 +20,20 @@ import os
 import pytest
 
 CAMPAIGN_FAULTS = int(os.environ.get("REPRO_CAMPAIGN_FAULTS", "100"))
+CAMPAIGN_WORKERS = int(os.environ.get("REPRO_CAMPAIGN_WORKERS", "1"))
+if CAMPAIGN_WORKERS <= 0:
+    CAMPAIGN_WORKERS = os.cpu_count() or 1
 WS_REQUESTS = int(os.environ.get("REPRO_WS_REQUESTS", "800"))
 
 
 @pytest.fixture(scope="session")
 def campaign_faults():
     return CAMPAIGN_FAULTS
+
+
+@pytest.fixture(scope="session")
+def campaign_workers():
+    return CAMPAIGN_WORKERS
 
 
 @pytest.fixture(scope="session")

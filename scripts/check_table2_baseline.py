@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Check a Table II JSON artifact against committed regression bounds.
+
+Usage:  python scripts/check_table2_baseline.py ARTIFACT BASELINE
+
+ARTIFACT is the output of ``python -m repro table2 --json PATH`` (one
+dict per table row); BASELINE is
+``benchmarks/baselines/table2_smoke.json``.  Exits non-zero if any
+service's activation ratio or recovery success rate drifts outside its
+recorded band, if propagation exceeds its cap, or if a service is
+missing from the artifact.
+"""
+
+import json
+import sys
+
+
+def check(artifact_path: str, baseline_path: str) -> int:
+    with open(artifact_path, "r", encoding="utf-8") as handle:
+        rows = {row["component"]: row for row in json.load(handle)}
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    failures = []
+    for service, bounds in baseline["bounds"].items():
+        row = rows.get(service)
+        if row is None:
+            failures.append(f"{service}: missing from artifact")
+            continue
+        expected = baseline["faults_per_service"]
+        if row["injected"] != expected:
+            failures.append(
+                f"{service}: injected {row['injected']} != {expected}"
+            )
+        for metric in ("activation_ratio", "recovery_success_rate"):
+            lo, hi = bounds[metric]
+            value = row[metric]
+            if not lo <= value <= hi:
+                failures.append(
+                    f"{service}: {metric} {value:.4f} outside [{lo}, {hi}]"
+                )
+        cap = bounds["max_not_recovered_propagated"]
+        if row["not_recovered_propagated"] > cap:
+            failures.append(
+                f"{service}: not_recovered_propagated "
+                f"{row['not_recovered_propagated']} > {cap}"
+            )
+
+    for service, row in rows.items():
+        print(
+            f"{service:6s} activation={row['activation_ratio']:.2%} "
+            f"success={row['recovery_success_rate']:.2%} "
+            f"propagated={row['not_recovered_propagated']}"
+        )
+    if failures:
+        print("\nBASELINE CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbaseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        raise SystemExit(2)
+    raise SystemExit(check(sys.argv[1], sys.argv[2]))

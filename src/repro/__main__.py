@@ -2,7 +2,9 @@
 
 Commands:
 
-* ``table2 [--faults N] [--mode MODE]`` — the SWIFI campaign (Table II)
+* ``table2 [--faults N] [--mode MODE] [--workers N] [--resume PATH]
+  [--json PATH]`` — the SWIFI campaign (Table II), fanned out over a
+  process pool with a resumable JSONL journal
 * ``fig6`` — tracking overhead, recovery overhead, LOC tables (Fig. 6)
 * ``fig7 [--requests N]`` — web-server throughput (Fig. 7)
 * ``compile <service|path.idl>`` — show compiler output for one interface
@@ -16,16 +18,36 @@ import sys
 
 
 def _cmd_table2(args) -> int:
-    from repro.swifi.campaign import format_table2, run_full_campaign
+    from repro.swifi.campaign import (
+        format_table2,
+        run_full_campaign,
+        write_table2_json,
+    )
 
+    if args.json:
+        # Fail on an unwritable artifact path before the campaign runs,
+        # not after: a paper-scale run is minutes of work.
+        try:
+            with open(args.json, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"cannot write --json {args.json}: {exc}", file=sys.stderr)
+            return 1
     print(
         f"SWIFI campaign: {args.faults} faults per service "
-        f"({args.mode} stubs)"
+        f"({args.mode} stubs, {args.workers} worker(s))"
     )
     results = run_full_campaign(
-        n_faults=args.faults, ft_mode=args.mode, seed=args.seed
+        n_faults=args.faults,
+        ft_mode=args.mode,
+        seed=args.seed,
+        workers=args.workers,
+        journal=args.resume,
     )
     print(format_table2(results))
+    if args.json:
+        write_table2_json(results, args.json)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -129,6 +151,24 @@ def main(argv=None) -> int:
     p.add_argument("--faults", type=int, default=100)
     p.add_argument("--mode", choices=("superglue", "c3"), default="superglue")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="process-pool size (default: all CPUs)",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="JSONL journal: checkpoint completed runs and resume from it",
+    )
+    p.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the Table II rows as a JSON artifact",
+    )
     p.set_defaults(fn=_cmd_table2)
 
     p = sub.add_parser("fig6", help="overhead + LOC tables")

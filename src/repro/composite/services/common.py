@@ -31,7 +31,7 @@ goes unobserved, which is the paper's small "undetected" residue.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.composite.component import Component
 from repro.composite.machine import (

@@ -92,7 +92,10 @@ class EventService(ServiceComponent):
             evtid, [parent_evtid, grp, state.pending, evtid]
         )
         trace = self.checked_create(
-            record, args=[spdid, parent_evtid, grp], label="evt_split", scan=len(self.events) + 1
+            record,
+            args=[spdid, parent_evtid, grp],
+            label="evt_split",
+            scan=len(self.events) + 1,
         )
         if parent_evtid:
             parent_record = self.record_for(parent_evtid)

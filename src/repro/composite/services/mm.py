@@ -81,7 +81,9 @@ class MemoryManagerService(ServiceComponent):
         self._next_frame += 1
         record = self.new_record(key, [frame, vaddr, 0])
         # Page-table installation: 4-level walk.
-        trace = self.checked_create(record, args=[spdid, vaddr], label="mman_get_page", scan=4)
+        trace = self.checked_create(
+            record, args=[spdid, vaddr], label="mman_get_page", scan=4
+        )
         self.finish(trace, retval=vaddr)
         self.mappings[key] = _Mapping(frame, None)
         return self.run_op(
@@ -103,7 +105,12 @@ class MemoryManagerService(ServiceComponent):
         parent_record = self.record_for(parent_key)
         nchildren = self.record_field(parent_key, FIELD_NCHILDREN)
         record = self.new_record(child_key, [parent.frame, dst_vaddr, 0])
-        trace = self.checked_create(record, args=[spdid, vaddr, dst_spdid, dst_vaddr], label="mman_alias_page", scan=4)
+        trace = self.checked_create(
+            record,
+            args=[spdid, vaddr, dst_spdid, dst_vaddr],
+            label="mman_alias_page",
+            scan=4,
+        )
         # Validate the parent mapping and bump its child count.
         trace.li(EBX, parent_record.addr)
         trace.chk(EBX, 0, self.MAGIC)

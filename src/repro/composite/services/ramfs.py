@@ -105,7 +105,9 @@ class RamFSService(ServiceComponent):
         record = self.new_record(fd, [0, path_hash(path), fd])
         # Namespace walk proportional to the path length, plus validation
         # of the parent descriptor's record.
-        trace = self.checked_create(record, args=[spdid, parent_fd, subpath], label="tsplit", scan=len(path))
+        trace = self.checked_create(
+            record, args=[spdid, parent_fd, subpath], label="tsplit", scan=len(path)
+        )
         trace = self._with_parent_check(trace, parent_record, parent)
         self.finish(trace, retval=fd)
         info = self._lookup_path_info(thread, path)

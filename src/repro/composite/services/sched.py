@@ -83,7 +83,10 @@ class SchedService(ServiceComponent):
         if not self.has_record(tid):
             record = self.new_record(tid, [STATE_READY, thread.prio, tid])
             trace = self.checked_create(
-                record, args=[spdid], label="sched_register", scan=len(self.registered) + 1
+                record,
+                args=[spdid],
+                label="sched_register",
+                scan=len(self.registered) + 1,
             )
         else:
             record = self.record_for(tid)

@@ -22,7 +22,7 @@ from repro.core.idl.ast import (
     ServiceInfo,
     SMDecl,
 )
-from repro.core.idl.lexer import Token, TokenStream, tokenize
+from repro.core.idl.lexer import TokenStream, tokenize
 from repro.errors import IDLSyntaxError
 
 SM_KINDS = (

@@ -1,13 +1,26 @@
 """Software-implemented fault injection (SWIFI), Section V-A."""
 
-from repro.swifi.campaign import CampaignResult, CampaignRunner
+from repro.swifi.campaign import (
+    CampaignResult,
+    CampaignRunner,
+    RunSpec,
+    execute_run,
+    run_full_campaign,
+)
 from repro.swifi.classify import OUTCOMES, Outcome
 from repro.swifi.injector import SwifiController
+from repro.swifi.parallel import CampaignJournal, default_workers, run_campaign
 
 __all__ = [
+    "CampaignJournal",
     "CampaignResult",
     "CampaignRunner",
     "OUTCOMES",
     "Outcome",
+    "RunSpec",
     "SwifiController",
+    "default_workers",
+    "execute_run",
+    "run_campaign",
+    "run_full_campaign",
 ]

@@ -8,10 +8,18 @@ workload's execution inside the target component, and the run is driven
 to completion.  Each injection is then classified per Table II's outcome
 taxonomy, and a campaign aggregates activation ratio and recovery success
 rate.
+
+Every run is self-deterministic: its injection point is derived from the
+run seed alone (``random.Random(run_seed).randrange(horizon)``), so a
+run's outcome is a pure function of ``(service, ft_mode, iterations,
+horizon, recovery_mode, run_seed)``.  That makes runs order-independent
+and lets :mod:`repro.swifi.parallel` fan a campaign out across a process
+pool — or resume an interrupted one — with bit-identical aggregates.
 """
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -28,6 +36,89 @@ DEFAULT_ITERATIONS = 4
 
 #: Step budget per run; exceeding it means the system livelocked.
 MAX_STEPS = 60_000
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything a single injection run depends on, besides its seed.
+
+    A ``RunSpec`` plus a ``run_seed`` fully determines a run's outcome,
+    which is what lets :func:`execute_run` execute in a worker process
+    with no shared state.  The horizon is measured once by
+    :meth:`CampaignRunner.calibrate` and shared via the spec so workers
+    skip the calibration pass.
+    """
+
+    service: str
+    ft_mode: str
+    iterations: int
+    horizon: int
+    recovery_mode: str = "ondemand"
+
+    def fingerprint(self) -> str:
+        """Stable identity string, used to match journal entries."""
+        return (
+            f"{self.service}/{self.ft_mode}/it{self.iterations}"
+            f"/h{self.horizon}/{self.recovery_mode}"
+        )
+
+
+def injection_point(run_seed: int, horizon: int) -> int:
+    """Injection point for one run, a pure function of its seed."""
+    return random.Random(run_seed).randrange(max(horizon, 1))
+
+
+def execute_run(spec: RunSpec, run_seed: int) -> Outcome:
+    """Run one injection and classify it.  Pure: no shared state.
+
+    Module-level (picklable) so a :class:`ProcessPoolExecutor` worker can
+    execute it from a submitted ``(spec, seeds)`` chunk.
+    """
+    system = build_system(ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode)
+    swifi = SwifiController(system.kernel, seed=run_seed)
+    workload = workload_for(spec.service)
+    handle = workload.install(system, iterations=spec.iterations)
+    swifi.arm(
+        spec.service,
+        after_executions=injection_point(run_seed, spec.horizon),
+    )
+    crash: Optional[BaseException] = None
+    steps = 0
+    try:
+        steps = system.run(max_steps=MAX_STEPS)
+    except SystemHang as hang:
+        crash = hang
+    except SimulatedFault as fault:
+        crash = fault
+    if system.kernel.crashed is not None and crash is None:
+        crash = system.kernel.crashed
+    return classify_run(spec.ft_mode, system, swifi, handle, crash, steps)
+
+
+def classify_run(ft_mode, system, swifi, handle, crash, steps) -> Outcome:
+    """Map one finished run onto Table II's outcome taxonomy."""
+    delivered = swifi.delivered_count > 0
+    if crash is not None:
+        kind = getattr(crash, "kind", "fault")
+        if kind == "crash" or (kind == "segfault" and ft_mode == "none"):
+            return Outcome.NOT_RECOVERED_SEGFAULT
+        if kind == "propagated":
+            return Outcome.NOT_RECOVERED_PROPAGATED
+        return Outcome.NOT_RECOVERED_OTHER
+    if steps >= MAX_STEPS:
+        # Livelock: latent fault kept the system spinning.
+        return Outcome.NOT_RECOVERED_OTHER
+    workload_ok = handle.check()
+    rebooted = system.booter.reboots > 0
+    if rebooted:
+        return Outcome.RECOVERED if workload_ok else Outcome.NOT_RECOVERED_OTHER
+    if not delivered:
+        # The SEU landed where the workload no longer executed in the
+        # target (e.g. after its last invocation): no effect.
+        return Outcome.UNDETECTED
+    if workload_ok:
+        return Outcome.UNDETECTED
+    return Outcome.NOT_RECOVERED_OTHER
 
 
 @dataclass
@@ -77,7 +168,6 @@ class CampaignRunner:
         self.seed = seed
         self.recovery_mode = recovery_mode
         self.workload = workload_for(service)
-        self._rng = random.Random(seed)
         self._horizon: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -86,7 +176,8 @@ class CampaignRunner:
 
         The injection point is drawn uniformly from this horizon, which
         models the paper's periodic injection timer landing at a uniformly
-        random instant of the workload's execution in the target.
+        random instant of the workload's execution in the target.  Runs
+        once per campaign; workers receive the result via the RunSpec.
         """
         system = build_system(
             ft_mode=self.ft_mode, recovery_mode=self.recovery_mode
@@ -102,66 +193,52 @@ class CampaignRunner:
         self._horizon = max(swifi.trace_counts.get(self.service, 1), 1)
         return self._horizon
 
+    def spec(self) -> RunSpec:
+        """The calibrated run spec (calibrating on first use)."""
+        if self._horizon is None:
+            self.calibrate()
+        return RunSpec(
+            service=self.service,
+            ft_mode=self.ft_mode,
+            iterations=self.iterations,
+            horizon=self._horizon,
+            recovery_mode=self.recovery_mode,
+        )
+
+    def run_seeds(self) -> List[int]:
+        """The deterministic per-run seed schedule for this campaign."""
+        return [self.seed * 1_000_003 + i for i in range(self.n_faults)]
+
     # ------------------------------------------------------------------
     def run_one(self, run_seed: int) -> Outcome:
         """One injection run; returns its classified outcome."""
-        if self._horizon is None:
-            self.calibrate()
-        system = build_system(
-            ft_mode=self.ft_mode, recovery_mode=self.recovery_mode
-        )
-        swifi = SwifiController(system.kernel, seed=run_seed)
-        handle = self.workload.install(system, iterations=self.iterations)
-        swifi.arm(
-            self.service,
-            after_executions=self._rng.randrange(self._horizon),
-        )
-        crash: Optional[BaseException] = None
-        steps = 0
-        try:
-            steps = system.run(max_steps=MAX_STEPS)
-        except SystemHang as hang:
-            crash = hang
-        except SimulatedFault as fault:
-            crash = fault
-        if system.kernel.crashed is not None and crash is None:
-            crash = system.kernel.crashed
-        return self._classify(system, swifi, handle, crash, steps)
-
-    def _classify(self, system, swifi, handle, crash, steps) -> Outcome:
-        delivered = swifi.delivered_count > 0
-        if crash is not None:
-            kind = getattr(crash, "kind", "fault")
-            if kind == "crash" or (kind == "segfault" and self.ft_mode == "none"):
-                return Outcome.NOT_RECOVERED_SEGFAULT
-            if kind == "propagated":
-                return Outcome.NOT_RECOVERED_PROPAGATED
-            return Outcome.NOT_RECOVERED_OTHER
-        if steps >= MAX_STEPS:
-            # Livelock: latent fault kept the system spinning.
-            return Outcome.NOT_RECOVERED_OTHER
-        workload_ok = handle.check()
-        rebooted = system.booter.reboots > 0
-        if rebooted:
-            return (
-                Outcome.RECOVERED if workload_ok else Outcome.NOT_RECOVERED_OTHER
-            )
-        if not delivered:
-            # The SEU landed where the workload no longer executed in the
-            # target (e.g. after its last invocation): no effect.
-            return Outcome.UNDETECTED
-        if workload_ok:
-            return Outcome.UNDETECTED
-        return Outcome.NOT_RECOVERED_OTHER
+        return execute_run(self.spec(), run_seed)
 
     # ------------------------------------------------------------------
-    def run(self, progress=None) -> CampaignResult:
-        counter = OutcomeCounter()
-        for i in range(self.n_faults):
-            outcome = self.run_one(run_seed=self.seed * 1_000_003 + i)
-            counter.add(outcome)
-            if progress is not None:
-                progress(i + 1, self.n_faults, outcome)
+    def run(
+        self,
+        progress=None,
+        workers: int = 1,
+        journal: Optional[str] = None,
+    ) -> CampaignResult:
+        """Run the campaign.
+
+        ``workers > 1`` fans runs out over a process pool (see
+        :mod:`repro.swifi.parallel`); the aggregate is bit-identical to
+        the serial path for the same seed.  ``journal`` names a JSONL
+        checkpoint file: completed runs are appended as they finish and
+        skipped on a rerun, so an interrupted campaign resumes where it
+        left off.
+        """
+        from repro.swifi.parallel import run_campaign
+
+        counter = run_campaign(
+            self.spec(),
+            self.run_seeds(),
+            workers=workers,
+            journal=journal,
+            progress=progress,
+        )
         return CampaignResult(
             service=self.service,
             counter=counter,
@@ -175,8 +252,15 @@ def run_full_campaign(
     n_faults: int = 500,
     ft_mode: str = "superglue",
     seed: int = 0,
+    workers: int = 1,
+    journal: Optional[str] = None,
 ) -> List[CampaignResult]:
-    """Reproduce Table II: one campaign per target service."""
+    """Reproduce Table II: one campaign per target service.
+
+    One journal file covers the whole multi-service campaign: entries
+    carry the run spec's fingerprint, so each service resumes only its
+    own completed runs.
+    """
     from repro.idl_specs import SERVICES
 
     results = []
@@ -184,7 +268,7 @@ def run_full_campaign(
         runner = CampaignRunner(
             service, ft_mode=ft_mode, n_faults=n_faults, seed=seed
         )
-        results.append(runner.run())
+        results.append(runner.run(workers=workers, journal=journal))
     return results
 
 
@@ -206,3 +290,14 @@ def format_table2(results: List[CampaignResult]) -> str:
             f"{row['activation_ratio']:>9.2%}{row['recovery_success_rate']:>9.2%}"
         )
     return "\n".join(lines)
+
+
+def write_table2_json(results: List[CampaignResult], path: str) -> None:
+    """Emit the machine-readable Table II artifact: one dict per row.
+
+    This is the format the nightly campaign workflow uploads and checks
+    against ``benchmarks/baselines/table2_smoke.json``.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([result.row() for result in results], handle, indent=2)
+        handle.write("\n")

@@ -1,0 +1,160 @@
+"""Parallel, resumable SWIFI campaign execution.
+
+Injection campaigns are embarrassingly parallel: each run boots a fresh
+system (the paper reboots the machine between runs), so runs share
+nothing but the calibrated :class:`~repro.swifi.campaign.RunSpec`.  This
+module fans a campaign's run seeds out across a
+:class:`~concurrent.futures.ProcessPoolExecutor`, streams each chunk's
+``(run_seed, outcome)`` pairs back to the parent as it completes, and
+merges them in seed-schedule order so the aggregated
+:class:`~repro.swifi.classify.OutcomeCounter` is bit-identical to the
+serial path.
+
+A JSONL journal makes campaigns resumable: every completed run is
+appended as ``{"fingerprint", "run_seed", "outcome"}`` the moment its
+chunk finishes, and a rerun against the same journal replays those
+outcomes instead of re-executing them.  Entries are keyed by the spec
+fingerprint, so one journal file can checkpoint a whole multi-service
+Table II campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.swifi.campaign import RunSpec, execute_run
+from repro.swifi.classify import Outcome, OutcomeCounter
+
+#: Target chunks per worker: small enough to stream progress and balance
+#: load, large enough to amortise task-submission overhead.
+CHUNKS_PER_WORKER = 4
+
+
+def default_workers() -> int:
+    """Worker-count default: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def chunk_seeds(seeds: Sequence[int], workers: int) -> List[List[int]]:
+    """Split the seed schedule into contiguous chunks for distribution."""
+    if not seeds:
+        return []
+    n_chunks = max(1, min(len(seeds), workers * CHUNKS_PER_WORKER))
+    size = -(-len(seeds) // n_chunks)  # ceil division
+    return [list(seeds[i:i + size]) for i in range(0, len(seeds), size)]
+
+
+def _execute_chunk(
+    spec: RunSpec, seeds: List[int]
+) -> List[Tuple[int, str]]:
+    """Worker entry point: execute one chunk of runs.
+
+    Returns ``(run_seed, outcome.value)`` pairs — strings, not enum
+    members, so results serialise cheaply across the process boundary
+    and into the journal.
+    """
+    return [(seed, execute_run(spec, seed).value) for seed in seeds]
+
+
+class CampaignJournal:
+    """Append-only JSONL checkpoint of completed injection runs."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def load(self, spec: RunSpec) -> Dict[int, Outcome]:
+        """Completed ``{run_seed: outcome}`` for this spec's fingerprint.
+
+        Tolerates a truncated final line (the campaign may have been
+        killed mid-write); anything unparseable is simply re-run.
+        """
+        done: Dict[int, Outcome] = {}
+        if not os.path.exists(self.path):
+            return done
+        fingerprint = spec.fingerprint()
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    if entry["fingerprint"] != fingerprint:
+                        continue
+                    done[int(entry["run_seed"])] = Outcome(entry["outcome"])
+                except (ValueError, KeyError):
+                    continue
+        return done
+
+    def append(
+        self, spec: RunSpec, completed: Iterable[Tuple[int, str]]
+    ) -> None:
+        """Record finished runs; flushed immediately so a kill loses at
+        most the in-flight chunk."""
+        fingerprint = spec.fingerprint()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            for run_seed, outcome in completed:
+                handle.write(
+                    json.dumps(
+                        {
+                            "fingerprint": fingerprint,
+                            "run_seed": run_seed,
+                            "outcome": outcome,
+                        }
+                    )
+                    + "\n"
+                )
+            handle.flush()
+
+
+def run_campaign(
+    spec: RunSpec,
+    run_seeds: Sequence[int],
+    workers: int = 1,
+    journal: Optional[str] = None,
+    progress=None,
+) -> OutcomeCounter:
+    """Execute a campaign's runs and aggregate their outcomes.
+
+    The merge happens in ``run_seeds`` order regardless of completion
+    order (and regardless of how many runs were replayed from the
+    journal), so for a given seed schedule the resulting counter is
+    bit-identical across worker counts and across resumes.
+    """
+    book = CampaignJournal(journal) if journal else None
+    outcomes: Dict[int, Outcome] = book.load(spec) if book else {}
+    pending = [seed for seed in run_seeds if seed not in outcomes]
+    total = len(run_seeds)
+    completed = total - len(pending)
+
+    def note(batch: List[Tuple[int, str]]) -> None:
+        nonlocal completed
+        if book is not None:
+            book.append(spec, batch)
+        for run_seed, value in batch:
+            outcomes[run_seed] = Outcome(value)
+            completed += 1
+            if progress is not None:
+                progress(completed, total, outcomes[run_seed])
+
+    if workers <= 1 or len(pending) <= 1:
+        # In-process serial path: same per-run function, same journal
+        # protocol, no pool overhead.
+        for seed in pending:
+            note([(seed, execute_run(spec, seed).value)])
+    else:
+        chunks = chunk_seeds(pending, workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_execute_chunk, spec, chunk) for chunk in chunks
+            ]
+            for future in as_completed(futures):
+                note(future.result())
+
+    counter = OutcomeCounter()
+    for seed in run_seeds:
+        counter.add(outcomes[seed])
+    return counter

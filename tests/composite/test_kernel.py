@@ -12,7 +12,6 @@ from repro.errors import (
     BlockThread,
     CapabilityError,
     ConfigurationError,
-    SimulatedFault,
     SystemHang,
 )
 

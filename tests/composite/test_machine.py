@@ -8,7 +8,6 @@ from repro.composite.machine import (
     EBX,
     ECX,
     EDX,
-    EDI,
     ESI,
     ESP,
     GP_REGS,

@@ -10,7 +10,7 @@ from repro.core.compiler import (
 )
 from repro.core.compiler.templates import CLIENT_TEMPLATES, SERVER_TEMPLATES
 from repro.core.runtime.stubs import ClientStubRuntime, ServerStubRuntime
-from repro.errors import CompileError, IDLSyntaxError
+from repro.errors import IDLSyntaxError
 from repro.idl_specs import SERVICES, load_idl
 
 

@@ -93,7 +93,11 @@ class TestParser:
         assert len(spec.functions) == 4
 
     def test_name_override(self):
-        spec = parse_idl("service_global_info = {};\nsm_creation(f);\nlong f(componentid_t c);", name="x")
+        spec = parse_idl(
+            "service_global_info = {};\nsm_creation(f);"
+            "\nlong f(componentid_t c);",
+            name="x",
+        )
         assert spec.name == "x"
 
     def test_missing_name_rejected(self):
@@ -154,7 +158,10 @@ mk(desc_data(componentid_t c), desc_data(parent_desc(long pid)));
         assert all(len(d.args) == 2 for d in decls)
 
     def test_loc_counts_code_lines_only(self):
-        spec = parse_idl("// comment\n\nservice = s;\nsm_creation(f);\nlong f(componentid_t c);\n")
+        spec = parse_idl(
+            "// comment\n\nservice = s;\nsm_creation(f);"
+            "\nlong f(componentid_t c);\n"
+        )
         assert spec.loc == 3
 
     def test_multiword_types(self):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.composite.thread import Invoke
 from repro.core.runtime.stubs import OWNER_KEY, TidProxy
 from repro.core.state_machine import INIT_STATE
 from repro.system import build_system

@@ -7,8 +7,6 @@ high-priority thread's post-fault latency depends only on *its own*
 descriptors, not on how much low-priority state the fault invalidated.
 """
 
-import pytest
-
 from repro.composite.thread import Invoke
 from repro.system import build_system
 

@@ -2,7 +2,7 @@
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.errors import BlockThread, InvalidDescriptor
+from repro.errors import InvalidDescriptor
 from repro.system import build_system
 
 PAGES = [0x4000, 0x5000, 0x6000, 0x7000]

@@ -1,0 +1,173 @@
+"""Tests for the parallel deterministic SWIFI campaign engine."""
+
+import json
+
+from repro.__main__ import main
+from repro.swifi.campaign import (
+    CampaignRunner,
+    RunSpec,
+    execute_run,
+    format_table2,
+    injection_point,
+    write_table2_json,
+)
+from repro.swifi.classify import Outcome
+from repro.swifi.parallel import (
+    CampaignJournal,
+    chunk_seeds,
+    default_workers,
+    run_campaign,
+)
+
+
+class TestDeterminism:
+    def test_injection_point_is_pure(self):
+        assert injection_point(7, 100) == injection_point(7, 100)
+        assert injection_point(7, 1) == 0  # degenerate horizon
+
+    def test_run_outcome_is_pure_function_of_spec_and_seed(self):
+        runner = CampaignRunner("lock", n_faults=1, seed=0)
+        spec = runner.spec()
+        seed = runner.run_seeds()[0]
+        assert execute_run(spec, seed) is execute_run(spec, seed)
+
+    def test_serial_and_parallel_rows_identical(self):
+        serial = CampaignRunner("lock", n_faults=10, seed=1).run(workers=1)
+        pooled = CampaignRunner("lock", n_faults=10, seed=1).run(workers=4)
+        assert serial.row() == pooled.row()
+
+    def test_run_seeds_schedule(self):
+        runner = CampaignRunner("lock", n_faults=3, seed=2)
+        assert runner.run_seeds() == [2_000_006, 2_000_007, 2_000_008]
+
+    def test_progress_reports_every_run(self):
+        seen = []
+        runner = CampaignRunner("lock", n_faults=3, seed=5)
+        runner.run(progress=lambda i, n, o: seen.append((i, n)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestChunking:
+    def test_chunks_cover_all_seeds_in_order(self):
+        seeds = list(range(23))
+        chunks = chunk_seeds(seeds, workers=4)
+        assert [s for chunk in chunks for s in chunk] == seeds
+        assert len(chunks) <= 4 * 4
+
+    def test_empty_and_tiny(self):
+        assert chunk_seeds([], 4) == []
+        assert chunk_seeds([9], 4) == [[9]]
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestJournal:
+    def test_resume_matches_uninterrupted_run(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        runner = CampaignRunner("timer", n_faults=8, seed=3)
+        spec = runner.spec()
+        seeds = runner.run_seeds()
+        # Simulate an interruption: only half the campaign completes.
+        run_campaign(spec, seeds[:4], workers=1, journal=journal)
+        assert len(CampaignJournal(journal).load(spec)) == 4
+        resumed = runner.run(workers=2, journal=journal)
+        uninterrupted = CampaignRunner("timer", n_faults=8, seed=3).run()
+        assert resumed.row() == uninterrupted.row()
+
+    def test_resumed_runs_are_not_reexecuted(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        runner = CampaignRunner("lock", n_faults=4, seed=4)
+        runner.run(journal=journal)
+        lines = open(journal).read().splitlines()
+        assert len(lines) == 4
+        runner.run(journal=journal)  # full replay: nothing appended
+        assert open(journal).read().splitlines() == lines
+
+    def test_journal_ignores_truncated_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        spec = RunSpec("lock", "superglue", 4, 100)
+        good = {
+            "fingerprint": spec.fingerprint(),
+            "run_seed": 11,
+            "outcome": "recovered",
+        }
+        other = dict(good, fingerprint="other/spec", run_seed=12)
+        path.write_text(
+            json.dumps(good) + "\n" + json.dumps(other) + "\n" + '{"trunc'
+        )
+        done = CampaignJournal(str(path)).load(spec)
+        assert done == {11: Outcome.RECOVERED}
+
+    def test_fingerprint_distinguishes_specs(self):
+        a = RunSpec("lock", "superglue", 4, 100)
+        b = RunSpec("lock", "c3", 4, 100)
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestArtifacts:
+    def test_format_and_json_shape(self, tmp_path):
+        results = [CampaignRunner("lock", n_faults=5, seed=1).run()]
+        table = format_table2(results)
+        assert "lock" in table and "SuccRate" in table
+        path = tmp_path / "table2.json"
+        write_table2_json(results, str(path))
+        rows = json.loads(path.read_text())
+        assert isinstance(rows, list) and len(rows) == 1
+        assert rows[0]["component"] == "lock"
+        assert rows[0]["injected"] == 5
+        for key in (
+            "recovered",
+            "not_recovered_segfault",
+            "not_recovered_propagated",
+            "not_recovered_other",
+            "undetected",
+            "activation_ratio",
+            "recovery_success_rate",
+        ):
+            assert key in rows[0]
+
+    def test_json_matches_rows(self, tmp_path):
+        results = [CampaignRunner("timer", n_faults=4, seed=2).run()]
+        path = tmp_path / "t.json"
+        write_table2_json(results, str(path))
+        assert json.loads(path.read_text()) == [r.row() for r in results]
+
+
+class TestCli:
+    def test_table2_workers_and_json(self, tmp_path, capsys):
+        artifact = str(tmp_path / "out.json")
+        assert (
+            main(
+                [
+                    "table2",
+                    "--faults",
+                    "3",
+                    "--workers",
+                    "2",
+                    "--json",
+                    artifact,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 worker(s)" in out
+        rows = json.loads(open(artifact).read())
+        assert {row["component"] for row in rows} == {
+            "sched",
+            "mm",
+            "ramfs",
+            "lock",
+            "event",
+            "timer",
+        }
+
+    def test_table2_resume_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "journal.jsonl")
+        args = ["table2", "--faults", "2", "--workers", "1", "--resume", journal]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # replayed entirely from the journal
+        assert capsys.readouterr().out == first
+        assert len(open(journal).read().splitlines()) == 2 * 6

@@ -1,7 +1,5 @@
 """Tests for the error hierarchy and small shared pieces."""
 
-import pytest
-
 import repro
 from repro.errors import (
     AssertionFault,

@@ -1,7 +1,5 @@
 """Additional unit tests for the SWIFI helpers and analysis formatting."""
 
-import pytest
-
 from repro.swifi.campaign import CampaignResult, format_table2
 from repro.swifi.classify import Outcome, OutcomeCounter
 from repro.swifi.injector import FULL_MASK, PlannedInjection, SwifiController

@@ -11,7 +11,7 @@ from repro.analysis import (
 )
 from repro.analysis.loc import format_loc_table
 from repro.errors import ConfigurationError
-from repro.idl_specs import SERVICES, load_all, load_idl
+from repro.idl_specs import SERVICES, load_all
 from repro.system import build_system, compile_all_interfaces
 from repro.workloads import WORKLOADS, workload_for
 
