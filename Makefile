@@ -4,7 +4,7 @@ PY ?= python3
 # Worker-pool size for the SWIFI campaign (0 = all CPUs).
 WORKERS ?= 0
 
-.PHONY: install test lint bench campaign fig7 examples clean
+.PHONY: install test lint bench perf profile campaign fig7 examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -17,6 +17,18 @@ lint:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+# Interpreter throughput + regression gate against the committed baseline.
+perf:
+	$(PY) benchmarks/bench_interp_throughput.py --json /tmp/interp_throughput.json
+	$(PY) scripts/check_interp_baseline.py /tmp/interp_throughput.json
+
+# cProfile over a small campaign; SERVICE/FAULTS/SORT overridable.
+SERVICE ?= lock
+FAULTS ?= 50
+SORT ?= cumulative
+profile:
+	$(PY) scripts/profile_campaign.py --service $(SERVICE) --faults $(FAULTS) --sort $(SORT)
 
 # The paper-scale campaign (500 faults per service), fanned out over the
 # worker pool; aggregates are bit-identical to a serial run.

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.composite.fastpath import try_execute_fast
 from repro.composite.machine import (
     EBP,
     ESP,
@@ -117,21 +118,33 @@ class Component:
         for reg, value in trace.entry_regs.items():
             regs.write(reg, value)
         injection = None
-        if self.kernel is not None and self.kernel.swifi is not None:
-            injection = self.kernel.swifi.take_injection(self.name, len(trace))
+        kernel = self.kernel
+        if kernel is not None and kernel.swifi is not None:
+            injection = kernel.swifi.take_injection(self.name, len(trace))
         try:
-            result = execute_trace(
-                trace, regs, self.image, component_name=self.name,
-                injection=injection,
-            )
+            # Tier 2: no pending injection and no live taint means the
+            # taint machinery is provably inert — run the compiled clean
+            # path.  Anything else takes the authoritative interpreter.
+            result = None
+            if injection is None:
+                result = try_execute_fast(trace, regs, self.image, self.name)
+            if result is None:
+                result = execute_trace(
+                    trace, regs, self.image, component_name=self.name,
+                    injection=injection,
+                )
+                if kernel is not None:
+                    kernel.stats["interp_slow_runs"] += 1
+            elif kernel is not None:
+                kernel.stats["interp_fast_runs"] += 1
         except Exception:
             # Even a faulting trace consumed time; approximate with the
             # full-trace cost before the fault unwinds.
-            if self.kernel is not None:
-                self.kernel.charge(thread, 3 * len(trace))
+            if kernel is not None:
+                kernel.charge(thread, 3 * len(trace))
             raise
-        if self.kernel is not None:
-            self.kernel.charge(thread, result.cycles)
+        if kernel is not None:
+            kernel.charge(thread, result.cycles)
         return result
 
     def check_return(self, result: TraceResult, plausible) -> int:

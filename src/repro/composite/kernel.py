@@ -77,6 +77,12 @@ class Kernel:
             "faults_vectored": 0,
             "micro_reboots": 0,
             "steps": 0,
+            # Two-tier trace engine accounting (see composite.fastpath and
+            # the trace cache in composite.services.common).
+            "interp_fast_runs": 0,
+            "interp_slow_runs": 0,
+            "trace_cache_hits": 0,
+            "trace_cache_misses": 0,
         }
         #: Hooks observing every fault vectoring: f(component, fault).
         self.fault_observers: List[Callable] = []

@@ -133,7 +133,7 @@ class Trace:
     on its data structures.
     """
 
-    __slots__ = ("ops", "label", "entry_regs")
+    __slots__ = ("ops", "label", "entry_regs", "sealed", "_compiled", "_clean_runs")
 
     def __init__(self, label: str = ""):
         self.ops: List[tuple] = []
@@ -142,6 +142,16 @@ class Trace:
         #: the record address travel in registers, so they are live — and
         #: flip-vulnerable — from the first micro-op).
         self.entry_regs: dict = {}
+        #: Set by ServiceComponent.finish once the epilogue is appended;
+        #: cached traces are sealed so a redundant finish cannot grow them.
+        self.sealed = False
+        #: Fast-path program (repro.composite.fastpath.FastProgram),
+        #: compiled lazily once the trace proves hot (second clean run).
+        self._compiled = None
+        #: Clean executions seen so far; the fast path only compiles a
+        #: trace that is executed more than once, so single-shot traces
+        #: never pay the (comparatively large) compile cost.
+        self._clean_runs = 0
 
     def __len__(self):
         return len(self.ops)

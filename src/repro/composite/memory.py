@@ -15,7 +15,8 @@ The image supports the booter's micro-reboot: after a component initialises,
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from array import array
+from typing import Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.composite.machine import WORD_MASK
@@ -36,7 +37,9 @@ class MemoryImage:
     Attributes:
         base: lowest valid address.
         size: number of words.
-        words: backing store.
+        words: backing store — a compact ``array('I')`` so the fast-path
+            interpreter indexes raw 32-bit words instead of boxed list
+            entries.
     """
 
     def __init__(self, base: int, size: int = DEFAULT_IMAGE_WORDS):
@@ -44,10 +47,13 @@ class MemoryImage:
             raise ReproError("image base must be page aligned")
         self.base = base & WORD_MASK
         self.size = size
-        self.words: List[int] = [0] * size
-        self._tainted: Set[int] = set()
+        self.words: array = array("I", bytes(4 * size))
+        # Per-word taint bits plus an O(1) census: the fast-path
+        # interpreter is only eligible while the image is taint-free.
+        self._taint: bytearray = bytearray(size)
+        self._taint_count = 0
         self._alloc_ptr = 16  # first words reserved (component header)
-        self._good_words: Optional[List[int]] = None
+        self._good_words: Optional[array] = None
         self._good_alloc_ptr: Optional[int] = None
         self._free_lists: Dict[int, List[int]] = {}
 
@@ -76,13 +82,23 @@ class MemoryImage:
     def write_word(self, addr: int, value: int, tainted: bool = False) -> None:
         index = addr - self.base
         self.words[index] = value & WORD_MASK
+        taint = self._taint
         if tainted:
-            self._tainted.add(addr)
-        else:
-            self._tainted.discard(addr)
+            if not taint[index]:
+                taint[index] = 1
+                self._taint_count += 1
+        elif taint[index]:
+            taint[index] = 0
+            self._taint_count -= 1
 
     def is_tainted(self, addr: int) -> bool:
-        return addr in self._tainted
+        index = addr - self.base
+        return 0 <= index < self.size and self._taint[index] != 0
+
+    @property
+    def taint_count(self) -> int:
+        """Number of tainted words (0 means the fast path is eligible)."""
+        return self._taint_count
 
     # -- allocation ----------------------------------------------------------
     def alloc(self, nwords: int) -> int:
@@ -110,7 +126,7 @@ class MemoryImage:
     # -- micro-reboot support -------------------------------------------------
     def freeze_good_image(self) -> None:
         """Snapshot the post-initialisation state as the reboot image."""
-        self._good_words = list(self.words)
+        self._good_words = self.words[:]
         self._good_alloc_ptr = self._alloc_ptr
 
     def micro_reboot(self) -> None:
@@ -119,7 +135,8 @@ class MemoryImage:
             raise ReproError("no good image frozen; cannot micro-reboot")
         self.words[:] = self._good_words
         self._alloc_ptr = self._good_alloc_ptr
-        self._tainted.clear()
+        self._taint[:] = bytes(self.size)
+        self._taint_count = 0
         self._free_lists.clear()
 
     @property

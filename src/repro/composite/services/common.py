@@ -30,8 +30,9 @@ goes unobserved, which is the paper's small "undetected" residue.
 
 from __future__ import annotations
 
+import os
 import zlib
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.composite.component import Component
 from repro.composite.machine import (
@@ -85,6 +86,51 @@ class Record:
     def __init__(self, addr: int, nfields: int):
         self.addr = addr
         self.nfields = nfields
+
+
+#: Default per-component trace-cache capacity.  Service working sets are a
+#: handful of (operation, argument) shapes; the bound only matters for
+#: workloads cycling through unbounded value streams (e.g. timer expiries).
+TRACE_CACHE_CAPACITY = 2048
+
+
+class TraceCache:
+    """Bounded memo of finished operation traces (tier 1 of the engine).
+
+    Keys capture *every* input that determines the built op list — the
+    operation kind and label, the record address, the words read from the
+    image, the argument words delivered in registers, scan bounds, the
+    return value, and any extension key — so a hit is exactly the trace
+    the builder would have produced.  Values are sealed
+    :class:`~repro.composite.machine.Trace` objects (epilogue already
+    appended, fast-path program attached on first clean execution), shared
+    across invocations.
+
+    Eviction is insertion-ordered (FIFO): steady-state working sets are
+    tiny and re-inserted keys are rare, so LRU bookkeeping isn't worth its
+    per-hit cost.
+    """
+
+    __slots__ = ("capacity", "entries", "hits", "misses")
+
+    def __init__(self, capacity: int = TRACE_CACHE_CAPACITY):
+        self.capacity = capacity
+        self.entries: Dict[tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        trace = self.entries.get(key)
+        if trace is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return trace
+
+    def put(self, key: tuple, trace) -> None:
+        if len(self.entries) >= self.capacity:
+            self.entries.pop(next(iter(self.entries)))
+        self.entries[key] = trace
 
 
 class _CheckedTraceBuilder:
@@ -192,6 +238,14 @@ class ServiceComponent(Component):
     def __init__(self, name: str):
         super().__init__(name)
         self._records: Dict[object, Record] = {}
+        #: Tier-1 trace compilation cache; ``REPRO_TRACE_CACHE=0`` disables
+        #: it (every invocation then rebuilds its trace from scratch —
+        #: useful when debugging the builder itself).
+        self._trace_cache: Optional[TraceCache] = (
+            TraceCache()
+            if os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
+            else None
+        )
 
     def reinit(self) -> None:
         self._records = {}
@@ -228,22 +282,56 @@ class ServiceComponent(Component):
         self.image.write_word(self._records[key].addr + field, value & WORD_MASK)
 
     # -- trace builders --------------------------------------------------------
+    def _cache_lookup(self, key: Optional[tuple]) -> Optional[Trace]:
+        if key is None:
+            return None
+        trace = self._trace_cache.get(key)
+        if self.kernel is not None:
+            stat = "trace_cache_hits" if trace is not None else "trace_cache_misses"
+            self.kernel.stats[stat] += 1
+        return trace
+
+    def _cache_store(self, key: Optional[tuple], trace: Trace) -> None:
+        if key is not None:
+            self._trace_cache.put(key, trace)
+
     def checked_create(
         self,
         record: Record,
         args: Sequence = (),
         label: str = "create",
         scan: int = 0,
+        retval: Optional[int] = None,
+        extend: Optional[Callable[[Trace], None]] = None,
+        extend_key: Optional[tuple] = None,
     ) -> Trace:
-        """Trace creating a record: store magic + fields, then verify."""
+        """Trace creating a record: store magic + fields, then verify.
+
+        With ``retval`` given, the returned trace is *finished* (return
+        value loaded, epilogue appended, sealed) and memoized in the
+        component's trace cache; steady-state invocations reuse the
+        prebuilt op list instead of reconstructing it.  ``extend`` appends
+        extra validation ops before the epilogue; every value it bakes
+        into the ops must be captured in ``extend_key``, which is part of
+        the cache key.
+        """
+        values = tuple(
+            self.image.read_word(record.addr + off)
+            for off in range(1, record.nfields + 1)
+        )
+        key = None
+        if retval is not None and self._trace_cache is not None:
+            key = (
+                "create", label, record.addr, values,
+                tuple(arg_word(a) for a in args), scan, retval, extend_key,
+            )
+            cached = self._cache_lookup(key)
+            if cached is not None:
+                return cached
         builder = _CheckedTraceBuilder(self, label, record.addr, args)
         t = builder.trace
         builder.set(EBX, self.MAGIC)
         t.st(EBX, EAX, 0)
-        values = [
-            self.image.read_word(record.addr + off)
-            for off in range(1, record.nfields + 1)
-        ]
         for off, value in enumerate(values, start=1):
             builder.set(ECX, value)
             t.st(ECX, EAX, off)
@@ -255,6 +343,11 @@ class ServiceComponent(Component):
             for off, value in enumerate(values, start=1):
                 builder.load_expect(EDX, EAX, off, value)
         builder.close()
+        if extend is not None:
+            extend(t)
+        if retval is not None:
+            self.finish(t, retval=retval)
+            self._cache_store(key, t)
         return t
 
     def checked_touch(
@@ -265,6 +358,9 @@ class ServiceComponent(Component):
         stores: Sequence[Tuple[int, int]] = (),
         scan: int = 0,
         label: str = "touch",
+        retval: Optional[int] = None,
+        extend: Optional[Callable[[Trace], None]] = None,
+        extend_key: Optional[tuple] = None,
     ) -> Trace:
         """The standard high-liveness operation skeleton.
 
@@ -273,7 +369,22 @@ class ServiceComponent(Component):
         pairs checked against the service's authoritative python-side
         state.  ``stores`` is (field_off, new_value) pairs, each verified
         by readback.  ``scan`` models a bounded queue/tree walk.
+
+        ``retval``/``extend``/``extend_key`` behave as in
+        :meth:`checked_create`: a ``retval`` makes the result a finished,
+        sealed trace memoized in the component's trace cache.
         """
+        key = None
+        if retval is not None and self._trace_cache is not None:
+            key = (
+                "touch", label, record.addr,
+                tuple((off, value & WORD_MASK) for off, value in expected),
+                tuple((off, value & WORD_MASK) for off, value in stores),
+                tuple(arg_word(a) for a in args), scan, retval, extend_key,
+            )
+            cached = self._cache_lookup(key)
+            if cached is not None:
+                return cached
         builder = _CheckedTraceBuilder(self, label, record.addr, args)
         t = builder.trace
         t.chk(EAX, 0, self.MAGIC)
@@ -296,13 +407,27 @@ class ServiceComponent(Component):
             for (off, value), reg in zip(sorted(current.items()), _FIELD_REGS):
                 builder.load_expect(reg, EAX, off, value)
         builder.close()
+        if extend is not None:
+            extend(t)
+        if retval is not None:
+            self.finish(t, retval=retval)
+            self._cache_store(key, t)
         return t
 
     def finish(self, trace: Trace, retval: Optional[int] = None) -> Trace:
-        """Close a trace: load the return value and run the epilogue."""
+        """Close a trace: load the return value and run the epilogue.
+
+        Sealed traces (cache-resident, already finished) pass through
+        unchanged, so legacy ``checked_*(...)``/``finish(...)`` call pairs
+        cannot grow a shared trace on a cache hit.
+        """
+        if trace.sealed:
+            return trace
         if retval is not None:
             trace.li(EAX, retval & WORD_MASK)
-        return trace.epilogue(EAX)
+        trace.epilogue(EAX)
+        trace.sealed = True
+        return trace
 
     def run_op(self, thread, trace: Trace, plausible=None) -> int:
         """Execute an operation trace; validate a tainted return value.

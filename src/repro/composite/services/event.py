@@ -91,21 +91,29 @@ class EventService(ServiceComponent):
         record = self.new_record(
             evtid, [parent_evtid, grp, state.pending, evtid]
         )
+        extend = None
+        extend_key = None
+        if parent_evtid:
+            parent_record = self.record_for(parent_evtid)
+            parent_state = self.events[parent_evtid]
+            extend_key = (parent_record.addr, parent_state.grp)
+
+            def extend(t, addr=parent_record.addr, grp=parent_state.grp):
+                # Validate the parent before linking under it.
+                t.li(EBX, addr)
+                t.chk(EBX, 0, self.MAGIC)
+                t.ld(ECX, EBX, FIELD_GRP)
+                t.assert_range(ECX, grp, grp)
+
         trace = self.checked_create(
             record,
             args=[spdid, parent_evtid, grp],
             label="evt_split",
             scan=len(self.events) + 1,
+            retval=evtid,
+            extend=extend,
+            extend_key=extend_key,
         )
-        if parent_evtid:
-            parent_record = self.record_for(parent_evtid)
-            parent_state = self.events[parent_evtid]
-            # Validate the parent before linking under it.
-            trace.li(EBX, parent_record.addr)
-            trace.chk(EBX, 0, self.MAGIC)
-            trace.ld(ECX, EBX, FIELD_GRP)
-            trace.assert_range(ECX, parent_state.grp, parent_state.grp)
-        self.finish(trace, retval=evtid)
         self.events[evtid] = state
         return self.run_op(thread, trace, plausible=lambda v: 0 < v < (1 << 16))
 
@@ -124,8 +132,8 @@ class EventService(ServiceComponent):
                 stores=[(FIELD_PENDING, state.pending - 1)],
                 args=[spdid, evtid],
                 label="evt_wait_pending",
+                retval=0,
             )
-            self.finish(trace, retval=0)
             self.run_op(thread, trace, plausible=lambda v: v == 0)
             state.pending -= 1
             self._persist_pending(thread, state)
@@ -140,8 +148,8 @@ class EventService(ServiceComponent):
             scan=len(state.waiters) + 1,  # wait-queue insertion
             args=[spdid, evtid],
             label="evt_wait",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         self.run_op(thread, trace, plausible=lambda v: v == 0)
         state.waiters.append(thread.tid)
         raise BlockThread(
@@ -166,8 +174,8 @@ class EventService(ServiceComponent):
                 scan=len(state.waiters) + 1,
                 args=[spdid, evtid],
                 label="evt_trigger_wake",
+                retval=0,
             )
-            self.finish(trace, retval=0)
             value = self.run_op(thread, trace, plausible=lambda v: v == 0)
             self.kernel.wake_token(self.name, ("evt", evtid, waiter), value=0)
             return value
@@ -180,8 +188,8 @@ class EventService(ServiceComponent):
             stores=[(FIELD_PENDING, state.pending + 1)],
             args=[spdid, evtid],
             label="evt_trigger_pend",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         value = self.run_op(thread, trace, plausible=lambda v: v == 0)
         state.pending += 1
         self._persist_pending(thread, state)
@@ -196,8 +204,8 @@ class EventService(ServiceComponent):
             expected=[(FIELD_EVTID, evtid), (FIELD_GRP, state.grp)],
             args=[spdid, evtid],
             label="evt_free",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         value = self.run_op(thread, trace, plausible=lambda v: v == 0)
         self.call(
             thread, self.storage_name, "store_del", PENDING_NS, state.uid

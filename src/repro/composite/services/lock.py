@@ -51,8 +51,9 @@ class LockService(ServiceComponent):
         lock_id = self._next_id
         self._next_id += 1
         record = self.new_record(lock_id, [0, 0, lock_id])
-        trace = self.checked_create(record, args=[spdid], label="lock_alloc")
-        self.finish(trace, retval=lock_id)
+        trace = self.checked_create(
+            record, args=[spdid], label="lock_alloc", retval=lock_id
+        )
         self.locks[lock_id] = _LockState()
         return self.run_op(thread, trace, plausible=lambda v: 0 < v < (1 << 16))
 
@@ -69,8 +70,8 @@ class LockService(ServiceComponent):
                 expected=[(FIELD_OWNER, thread.tid), (FIELD_LOCKID, lock_id)],
                 args=[spdid, lock_id],
                 label="lock_take_owned",
+                retval=0,
             )
-            self.finish(trace, retval=0)
             return self.run_op(thread, trace, plausible=lambda v: v == 0)
         if state.owner == 0:
             trace = self.checked_touch(
@@ -79,8 +80,8 @@ class LockService(ServiceComponent):
                 stores=[(FIELD_OWNER, thread.tid)],
                 args=[spdid, lock_id],
                 label="lock_take_fast",
+                retval=0,
             )
-            self.finish(trace, retval=0)
             value = self.run_op(thread, trace, plausible=lambda v: v == 0)
             state.owner = thread.tid
             return value
@@ -97,8 +98,8 @@ class LockService(ServiceComponent):
             scan=len(state.waiters) + 1,
             args=[spdid, lock_id],
             label="lock_take_contended",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         self.run_op(thread, trace, plausible=lambda v: v == 0)
         state.waiters.append(thread.tid)
         raise BlockThread(
@@ -130,8 +131,8 @@ class LockService(ServiceComponent):
                 scan=len(state.waiters) + 1,
                 args=[spdid, lock_id],
                 label="lock_release_handoff",
+                retval=0,
             )
-            self.finish(trace, retval=0)
             value = self.run_op(thread, trace, plausible=lambda v: v == 0)
             state.owner = next_tid
             self.kernel.wake_token(self.name, ("lock", lock_id, next_tid), value=0)
@@ -142,8 +143,8 @@ class LockService(ServiceComponent):
             stores=[(FIELD_OWNER, 0)],
             args=[spdid, lock_id],
             label="lock_release",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         value = self.run_op(thread, trace, plausible=lambda v: v == 0)
         state.owner = 0
         return value
@@ -156,8 +157,8 @@ class LockService(ServiceComponent):
             expected=[(FIELD_LOCKID, lock_id)],
             args=[spdid, lock_id],
             label="lock_free",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         value = self.run_op(thread, trace, plausible=lambda v: v == 0)
         self.drop_record(lock_id)
         del self.locks[lock_id]

@@ -74,17 +74,20 @@ class MemoryManagerService(ServiceComponent):
                 ],
                 args=[spdid, vaddr],
                 label="mman_get_page_hit",
+                retval=vaddr,
             )
-            self.finish(trace, retval=vaddr)
             return self.run_op(thread, trace, plausible=lambda v: v == vaddr)
         frame = self._next_frame
         self._next_frame += 1
         record = self.new_record(key, [frame, vaddr, 0])
         # Page-table installation: 4-level walk.
         trace = self.checked_create(
-            record, args=[spdid, vaddr], label="mman_get_page", scan=4
+            record,
+            args=[spdid, vaddr],
+            label="mman_get_page",
+            scan=4,
+            retval=vaddr,
         )
-        self.finish(trace, retval=vaddr)
         self.mappings[key] = _Mapping(frame, None)
         return self.run_op(
             thread, trace, plausible=lambda v: 0 < v < (1 << 31)
@@ -105,22 +108,27 @@ class MemoryManagerService(ServiceComponent):
         parent_record = self.record_for(parent_key)
         nchildren = self.record_field(parent_key, FIELD_NCHILDREN)
         record = self.new_record(child_key, [parent.frame, dst_vaddr, 0])
+        def extend(t, addr=parent_record.addr, frame=parent.frame,
+                   nch=nchildren):
+            # Validate the parent mapping and bump its child count.
+            t.li(EBX, addr)
+            t.chk(EBX, 0, self.MAGIC)
+            t.ld(ECX, EBX, FIELD_FRAME)
+            t.assert_range(ECX, frame, frame)
+            t.ld(ECX, EBX, FIELD_NCHILDREN)
+            t.assert_range(ECX, nch, nch)
+            t.addi(ECX, 1)
+            t.st(ECX, EBX, FIELD_NCHILDREN)
+
         trace = self.checked_create(
             record,
             args=[spdid, vaddr, dst_spdid, dst_vaddr],
             label="mman_alias_page",
             scan=4,
+            retval=dst_vaddr,
+            extend=extend,
+            extend_key=(parent_record.addr, parent.frame, nchildren),
         )
-        # Validate the parent mapping and bump its child count.
-        trace.li(EBX, parent_record.addr)
-        trace.chk(EBX, 0, self.MAGIC)
-        trace.ld(ECX, EBX, FIELD_FRAME)
-        trace.assert_range(ECX, parent.frame, parent.frame)
-        trace.ld(ECX, EBX, FIELD_NCHILDREN)
-        trace.assert_range(ECX, nchildren, nchildren)
-        trace.addi(ECX, 1)
-        trace.st(ECX, EBX, FIELD_NCHILDREN)
-        self.finish(trace, retval=dst_vaddr)
         self.mappings[child_key] = _Mapping(parent.frame, parent_key)
         parent.children.add(child_key)
         return self.run_op(
@@ -144,8 +152,8 @@ class MemoryManagerService(ServiceComponent):
             scan=len(subtree),  # revocation walk over the whole subtree
             args=[spdid, vaddr],
             label="mman_release_page",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         value = self.run_op(thread, trace, plausible=lambda v: v == 0)
         for node_key in subtree:
             sub = self.mappings.pop(node_key)

@@ -106,10 +106,14 @@ class RamFSService(ServiceComponent):
         # Namespace walk proportional to the path length, plus validation
         # of the parent descriptor's record.
         trace = self.checked_create(
-            record, args=[spdid, parent_fd, subpath], label="tsplit", scan=len(path)
+            record,
+            args=[spdid, parent_fd, subpath],
+            label="tsplit",
+            scan=len(path),
+            retval=fd,
+            extend=lambda t: self._with_parent_check(t, parent_record, parent),
+            extend_key=(parent_record.addr, path_hash(parent.path)),
         )
-        trace = self._with_parent_check(trace, parent_record, parent)
-        self.finish(trace, retval=fd)
         info = self._lookup_path_info(thread, path)
         if info is None:
             cbid = self.call(thread, self.cbuf_name, "cbuf_alloc", self.name, 0)
@@ -147,8 +151,8 @@ class RamFSService(ServiceComponent):
             scan=max(len(payload) >> 4, 1),
             args=[spdid, fd, payload],
             label="twrite",
+            retval=len(payload),
         )
-        self.finish(trace, retval=len(payload))
         value = self.run_op(
             thread, trace, plausible=lambda v: v == len(payload)
         )
@@ -185,8 +189,8 @@ class RamFSService(ServiceComponent):
             scan=max(count >> 4, 1),
             args=[spdid, fd, nbytes],
             label="tread",
+            retval=count,
         )
-        self.finish(trace, retval=count)
         self.run_op(thread, trace, plausible=lambda v: v == count)
         data = self.call(
             thread, self.cbuf_name, "cbuf_read", self.name, cbid,
@@ -207,8 +211,8 @@ class RamFSService(ServiceComponent):
             stores=[(FIELD_OFFSET, offset)],
             args=[spdid, fd, offset],
             label="tseek",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         value = self.run_op(thread, trace, plausible=lambda v: v == 0)
         file.offset = offset
         return value
@@ -226,8 +230,8 @@ class RamFSService(ServiceComponent):
             expected=[(FIELD_FD, fd), (FIELD_PATHHASH, path_hash(file.path))],
             args=[spdid, fd],
             label="trelease",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         value = self.run_op(thread, trace, plausible=lambda v: v == 0)
         self.drop_record(fd)
         del self.files[fd]

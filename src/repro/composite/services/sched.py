@@ -87,6 +87,7 @@ class SchedService(ServiceComponent):
                 args=[spdid],
                 label="sched_register",
                 scan=len(self.registered) + 1,
+                retval=tid,
             )
         else:
             record = self.record_for(tid)
@@ -95,8 +96,8 @@ class SchedService(ServiceComponent):
                 expected=[(FIELD_TID, tid), (FIELD_STATE, self._state_of(tid))],
                 args=[spdid],
                 label="sched_reregister",
+                retval=tid,
             )
-        self.finish(trace, retval=tid)
         self.registered[tid] = spdid
         return self.run_op(thread, trace, plausible=lambda v: v == tid)
 
@@ -115,8 +116,8 @@ class SchedService(ServiceComponent):
                 stores=[(FIELD_STATE, STATE_READY)],
                 args=[spdid, tid],
                 label="sched_blk_raced",
+                retval=0,
             )
-            self.finish(trace, retval=0)
             value = self.run_op(thread, trace, plausible=lambda v: v == 0)
             self.pending_wakeups.discard(tid)
             self._persist_latch(thread, tid, present=False)
@@ -132,8 +133,8 @@ class SchedService(ServiceComponent):
             scan=len(self.registered) + 1,  # run-queue removal walk
             args=[spdid, tid],
             label="sched_blk",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         self.run_op(thread, trace, plausible=lambda v: v == 0)
         raise BlockThread(
             self.name,
@@ -153,8 +154,8 @@ class SchedService(ServiceComponent):
             scan=len(self.registered) + 1,  # run-queue insertion walk
             args=[spdid, tid],
             label="sched_wakeup",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         value = self.run_op(thread, trace, plausible=lambda v: v == 0)
         woken = self.kernel.wake_token(self.name, ("blk", tid), value=0)
         if woken == 0:
@@ -170,8 +171,8 @@ class SchedService(ServiceComponent):
             expected=[(FIELD_TID, tid)],
             args=[spdid, tid],
             label="sched_exit",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         value = self.run_op(thread, trace, plausible=lambda v: v == 0)
         self.drop_record(tid)
         self.registered.pop(tid, None)

@@ -57,9 +57,12 @@ class TimerService(ServiceComponent):
         self._next_id += 1
         record = self.new_record(tmid, [period, 0, tmid])
         trace = self.checked_create(
-            record, args=[spdid, period], label="timer_alloc", scan=len(self.timers) + 1
+            record,
+            args=[spdid, period],
+            label="timer_alloc",
+            scan=len(self.timers) + 1,
+            retval=tmid,
         )
-        self.finish(trace, retval=tmid)
         self.timers[tmid] = _TimerState(period)
         return self.run_op(thread, trace, plausible=lambda v: 0 < v < (1 << 16))
 
@@ -81,8 +84,8 @@ class TimerService(ServiceComponent):
             scan=len(self.timers) + 1,  # timer-wheel insertion walk
             args=[spdid, tmid],
             label="timer_block",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         self.run_op(thread, trace, plausible=lambda v: v == 0)
         raise BlockThread(
             self.name,
@@ -106,8 +109,8 @@ class TimerService(ServiceComponent):
             expected=[(FIELD_PERIOD, state.period), (FIELD_TMID, tmid)],
             args=[spdid, tmid],
             label="timer_expire",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         value = self.run_op(thread, trace, plausible=lambda v: v == 0)
         for blocked in self.kernel.blocked_threads_in(self.name):
             token = blocked.block_token
@@ -123,8 +126,8 @@ class TimerService(ServiceComponent):
             expected=[(FIELD_TMID, tmid)],
             args=[spdid, tmid],
             label="timer_free",
+            retval=0,
         )
-        self.finish(trace, retval=0)
         value = self.run_op(thread, trace, plausible=lambda v: v == 0)
         self.drop_record(tmid)
         del self.timers[tmid]

@@ -218,14 +218,15 @@ class CampaignRunner:
     def run(
         self,
         progress=None,
-        workers: int = 1,
+        workers: Optional[int] = None,
         journal: Optional[str] = None,
     ) -> CampaignResult:
         """Run the campaign.
 
-        ``workers > 1`` fans runs out over a process pool (see
-        :mod:`repro.swifi.parallel`); the aggregate is bit-identical to
-        the serial path for the same seed.  ``journal`` names a JSONL
+        ``workers=None`` uses one worker per CPU; ``workers > 1`` fans
+        runs out over a process pool (see :mod:`repro.swifi.parallel`);
+        the aggregate is bit-identical to the serial path for the same
+        seed.  ``journal`` names a JSONL
         checkpoint file: completed runs are appended as they finish and
         skipped on a rerun, so an interrupted campaign resumes where it
         left off.
@@ -252,7 +253,7 @@ def run_full_campaign(
     n_faults: int = 500,
     ft_mode: str = "superglue",
     seed: int = 0,
-    workers: int = 1,
+    workers: Optional[int] = None,
     journal: Optional[str] = None,
 ) -> List[CampaignResult]:
     """Reproduce Table II: one campaign per target service.

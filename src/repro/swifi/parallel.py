@@ -113,17 +113,21 @@ class CampaignJournal:
 def run_campaign(
     spec: RunSpec,
     run_seeds: Sequence[int],
-    workers: int = 1,
+    workers: Optional[int] = None,
     journal: Optional[str] = None,
     progress=None,
 ) -> OutcomeCounter:
     """Execute a campaign's runs and aggregate their outcomes.
 
-    The merge happens in ``run_seeds`` order regardless of completion
-    order (and regardless of how many runs were replayed from the
-    journal), so for a given seed schedule the resulting counter is
-    bit-identical across worker counts and across resumes.
+    ``workers=None`` uses one worker per CPU (:func:`default_workers`);
+    ``workers=1`` (or a single pending run) stays in-process with no
+    pool overhead.  The merge happens in ``run_seeds`` order regardless
+    of completion order (and regardless of how many runs were replayed
+    from the journal), so for a given seed schedule the resulting
+    counter is bit-identical across worker counts and across resumes.
     """
+    if workers is None:
+        workers = default_workers()
     book = CampaignJournal(journal) if journal else None
     outcomes: Dict[int, Outcome] = book.load(spec) if book else {}
     pending = [seed for seed in run_seeds if seed not in outcomes]

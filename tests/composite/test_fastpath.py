@@ -1,0 +1,367 @@
+"""Differential tests: compiled fast path vs authoritative interpreter.
+
+The fast path (:mod:`repro.composite.fastpath`) is only correct if it is
+*indistinguishable* from :func:`repro.composite.machine.execute_trace` on
+every clean trace: same ``TraceResult`` fields, same final register and
+memory state, and — when the trace faults — the same exception type with
+the same message.  These tests hold the two tiers to that contract over
+a large seeded-random trace population, plus handwritten edge cases for
+every op and every fault family.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.composite import fastpath
+from repro.composite.fastpath import compile_trace, try_execute_fast
+from repro.composite.machine import (
+    EAX,
+    EBP,
+    EBX,
+    ECX,
+    EDX,
+    EDI,
+    ESI,
+    ESP,
+    HANG_LIMIT,
+    Injection,
+    RegisterFile,
+    Trace,
+    execute_trace,
+)
+from repro.composite.memory import MemoryImage
+from repro.errors import SimulatedFault
+
+BASE = 0x0200_0000
+WORDS = 2048
+MAGIC = 0x5EC0FFEE
+
+#: General-purpose registers a random trace computes with (stack registers
+#: are exercised separately through push/pop and the harness entry values).
+GP_REGS = (EAX, EBX, ECX, EDX, ESI, EDI)
+
+
+def fresh_image() -> MemoryImage:
+    image = MemoryImage(BASE, WORDS)
+    record = image.alloc_record(MAGIC, 8)
+    for off in range(1, 9):
+        image.write_word(record + off, off * 3)
+    return image
+
+
+def fresh_regs(image: MemoryImage, entry: dict) -> RegisterFile:
+    regs = RegisterFile()
+    regs.write(ESP, image.stack_top)
+    regs.write(EBP, image.stack_top)
+    for reg, value in entry.items():
+        regs.write(reg, value)
+    return regs
+
+
+def random_trace(rng: random.Random, image: MemoryImage) -> Trace:
+    """A random but *mostly valid* trace over the machine's full ISA.
+
+    Valid-biased: address registers usually point into the record, checks
+    usually pass.  A deliberate minority of ops is broken (bad address,
+    wrong magic, failing assertion, hang-sized loop) so the fault paths
+    are exercised too — parity matters on both.
+    """
+    record = image.base + 16  # first record allocated by fresh_image
+    trace = Trace(f"rand{rng.randrange(1 << 16)}")
+    trace.entry_regs = {
+        EAX: record,
+        EBX: rng.randrange(1 << 8),
+        ECX: rng.randrange(1 << 8),
+        EDX: rng.randrange(1 << 8),
+        ESI: rng.randrange(1 << 8),
+        EDI: rng.randrange(1 << 8),
+    }
+    if rng.random() < 0.8:
+        trace.prologue()
+    depth = 0  # words pushed so far (keeps most pops balanced)
+    for __ in range(rng.randrange(1, 40)):
+        choice = rng.random()
+        reg = rng.choice(GP_REGS)
+        src = rng.choice(GP_REGS)
+        if choice < 0.18:
+            trace.li(reg, rng.randrange(1 << 32))
+        elif choice < 0.30:
+            trace.mov(reg, src)
+        elif choice < 0.42:
+            # Re-point a register at the record so loads/stores mostly hit.
+            if rng.random() < 0.85:
+                trace.li(EAX, record)
+                trace.ld(reg, EAX, rng.randrange(9))
+            else:
+                trace.ld(reg, src, rng.randrange(16))
+        elif choice < 0.52:
+            if rng.random() < 0.85:
+                trace.li(EAX, record)
+                trace.st(reg, EAX, rng.randrange(1, 9))
+            else:
+                trace.st(reg, src, rng.randrange(16))
+        elif choice < 0.62:
+            trace.add(reg, src) if rng.random() < 0.5 else trace.addi(
+                reg, rng.randrange(-8, 64)
+            )
+        elif choice < 0.68:
+            trace.xor(reg, src)
+        elif choice < 0.76:
+            if rng.random() < 0.85:
+                trace.li(EAX, record)
+                trace.chk(EAX, 0, MAGIC)
+            else:
+                trace.chk(src, rng.randrange(4), rng.randrange(1 << 32))
+        elif choice < 0.84:
+            # Mostly-true assertion: set then assert the same value.
+            value = rng.randrange(1 << 16)
+            if rng.random() < 0.8:
+                trace.li(reg, value)
+                trace.assert_range(reg, value, value + rng.randrange(4))
+            else:
+                trace.assert_eq(reg, rng.randrange(1 << 16))
+        elif choice < 0.90:
+            bound = (
+                rng.randrange(64)
+                if rng.random() < 0.9
+                else HANG_LIMIT + rng.randrange(1 << 8)
+            )
+            trace.li(ESI, bound)
+            trace.loop(ESI, rng.randrange(1, 5))
+        elif choice < 0.96:
+            trace.push(reg)
+            depth += 1
+        else:
+            if depth > 0 or rng.random() < 0.2:
+                trace.pop(reg)
+                depth = max(depth - 1, 0)
+    if rng.random() < 0.9:
+        trace.li(EAX, rng.randrange(1 << 16))
+        if rng.random() < 0.5 and trace.ops and trace.ops[0][0] == "push":
+            trace.epilogue(EAX)
+        else:
+            trace.ret(EAX)
+    return trace
+
+
+def run_slow(trace: Trace):
+    image = fresh_image()
+    regs = fresh_regs(image, trace.entry_regs)
+    try:
+        result = execute_trace(trace, regs, image, component_name="diff")
+    except SimulatedFault as fault:
+        return ("fault", type(fault).__name__, str(fault)), None, None
+    return (
+        ("ok", result.value, result.tainted, result.cycles,
+         result.stores_tainted),
+        list(regs.values),
+        list(image.words),
+    )
+
+
+def run_fast(trace: Trace):
+    image = fresh_image()
+    regs = fresh_regs(image, trace.entry_regs)
+    trace._clean_runs = 1  # past the warm-up threshold: compile now
+    trace._compiled = None
+    try:
+        result = try_execute_fast(trace, regs, image, "diff")
+    except SimulatedFault as fault:
+        return ("fault", type(fault).__name__, str(fault)), None, None
+    assert result is not None, "fast path unexpectedly ineligible"
+    return (
+        ("ok", result.value, result.tainted, result.cycles,
+         result.stores_tainted),
+        list(regs.values),
+        list(image.words),
+    )
+
+
+class TestDifferentialRandomTraces:
+    def test_five_hundred_random_traces_agree(self):
+        rng = random.Random(0xD1FF)
+        faults = 0
+        for __ in range(500):
+            trace = random_trace(rng, fresh_image())
+            slow, slow_regs, slow_words = run_slow(trace)
+            fast, fast_regs, fast_words = run_fast(trace)
+            assert slow == fast
+            assert slow_regs == fast_regs
+            assert slow_words == fast_words
+            if slow[0] == "fault":
+                faults += 1
+        # The population must exercise both outcomes to mean anything.
+        assert 0 < faults < 500
+
+    def test_random_traces_with_injection_agree_through_dispatch(self):
+        """With an injection pending, both tiers are the slow tier.
+
+        ``Component.execute`` sends injected runs to ``execute_trace``
+        unconditionally; the engine-level contract is that an injected
+        run behaves identically whether or not the fast path exists.  A
+        pre-compiled program must not leak into an injected execution.
+        """
+        rng = random.Random(0xFA57)
+        for __ in range(100):
+            trace = random_trace(rng, fresh_image())
+            injection_site = rng.randrange(max(len(trace), 1))
+            spec = (rng.randrange(8), rng.randrange(32), injection_site)
+
+            def injected_run(precompile: bool):
+                image = fresh_image()
+                regs = fresh_regs(image, trace.entry_regs)
+                if precompile:
+                    trace._clean_runs = 1
+                    trace._compiled = None
+                    compile_trace(trace, image, "diff")
+                try:
+                    result = execute_trace(
+                        trace, regs, image, component_name="diff",
+                        injection=Injection(*spec),
+                    )
+                except SimulatedFault as fault:
+                    return ("fault", type(fault).__name__, str(fault))
+                return (
+                    "ok", result.value, result.tainted, result.cycles,
+                    result.stores_tainted,
+                )
+
+            assert injected_run(False) == injected_run(True)
+
+
+class TestEligibility:
+    def _simple_trace(self) -> Trace:
+        trace = Trace("simple")
+        trace.entry_regs = {EBX: 5}
+        trace.li(EAX, 7).add(EAX, EBX).ret(EAX)
+        return trace
+
+    def test_warmup_first_clean_run_declines(self):
+        image = fresh_image()
+        trace = self._simple_trace()
+        regs = fresh_regs(image, trace.entry_regs)
+        assert try_execute_fast(trace, regs, image, "t") is None
+        assert trace._compiled is None
+        result = try_execute_fast(trace, regs, image, "t")
+        assert result is not None and result.value == 12
+        assert trace._compiled is not None
+
+    def test_disabled_flag_declines(self, monkeypatch):
+        monkeypatch.setattr(fastpath, "FAST_INTERP_ENABLED", False)
+        image = fresh_image()
+        trace = self._simple_trace()
+        trace._clean_runs = 1
+        assert try_execute_fast(
+            trace, fresh_regs(image, trace.entry_regs), image, "t"
+        ) is None
+
+    def test_tainted_register_declines(self):
+        image = fresh_image()
+        trace = self._simple_trace()
+        trace._clean_runs = 1
+        regs = fresh_regs(image, trace.entry_regs)
+        regs.flip_bit(ECX, 3)
+        assert try_execute_fast(trace, regs, image, "t") is None
+
+    def test_tainted_memory_declines(self):
+        image = fresh_image()
+        trace = self._simple_trace()
+        trace._clean_runs = 1
+        image.write_word(image.base + 2, 0xBAD, tainted=True)
+        assert image.taint_count == 1
+        assert try_execute_fast(
+            trace, fresh_regs(image, trace.entry_regs), image, "t"
+        ) is None
+        # Micro-reboot clears the taint census; eligibility returns.
+        image.freeze_good_image()
+        image.micro_reboot()
+        assert image.taint_count == 0
+        assert try_execute_fast(
+            trace, fresh_regs(image, trace.entry_regs), image, "t"
+        ) is not None
+
+
+class TestCompiledProgramLifecycle:
+    def test_program_cached_on_trace(self):
+        image = fresh_image()
+        trace = Trace("cached")
+        trace.li(EAX, 1).ret(EAX)
+        trace._clean_runs = 1
+        regs = fresh_regs(image, {})
+        try_execute_fast(trace, regs, image, "t")
+        program = trace._compiled
+        assert program is not None
+        try_execute_fast(trace, regs, image, "t")
+        assert trace._compiled is program  # no recompilation
+
+    def test_appending_ops_invalidates_program(self):
+        image = fresh_image()
+        trace = Trace("grow")
+        trace.li(EAX, 1).ret(EAX)
+        trace._clean_runs = 1
+        regs = fresh_regs(image, {})
+        assert try_execute_fast(trace, regs, image, "t").value == 1
+        stale = trace._compiled
+        trace.ops.insert(1, ("addi", EAX, 8))
+        result = try_execute_fast(trace, regs, image, "t")
+        assert trace._compiled is not stale
+        assert result.value == 9
+
+    def test_different_memory_recompiles(self):
+        image_a = fresh_image()
+        image_b = MemoryImage(BASE + 0x1000, WORDS)
+        trace = Trace("move")
+        trace.li(EAX, 3).ret(EAX)
+        trace._clean_runs = 1
+        try_execute_fast(trace, fresh_regs(image_a, {}), image_a, "t")
+        in_a = trace._compiled
+        try_execute_fast(trace, fresh_regs(image_b, {}), image_b, "t")
+        assert trace._compiled is not in_a
+        assert trace._compiled.base == image_b.base
+
+    def test_fall_off_end_returns_zero(self):
+        trace = Trace("noend")
+        trace.li(EBX, 42)
+        slow = run_slow(trace)
+        assert slow == run_fast(trace)
+        assert slow[0][1] == 0
+
+    def test_ops_after_ret_are_dead(self):
+        trace = Trace("deadtail")
+        trace.li(EAX, 6).ret(EAX)
+        trace.li(EAX, 99)  # unreachable in the straight-line ISA
+        assert run_slow(trace) == run_fast(trace)
+
+    def test_loop_cycles_match(self):
+        for bound in (0, 1, 63, 4096):
+            trace = Trace("loopcyc")
+            trace.li(ESI, bound).loop(ESI, 3).li(EAX, 0).ret(EAX)
+            assert run_slow(trace) == run_fast(trace)
+
+    def test_hang_parity(self):
+        trace = Trace("hang")
+        trace.li(ESI, HANG_LIMIT + 1).loop(ESI, 2)
+        slow = run_slow(trace)[0]
+        fast = run_fast(trace)[0]
+        assert slow == fast
+        assert slow[1] == "SystemHang"
+
+
+class TestFaultMessageParity:
+    @pytest.mark.parametrize("build,expected", [
+        (lambda t: t.li(EBX, 0x10).ld(ECX, EBX, 0), "SegmentationFault"),
+        (lambda t: t.li(EBX, BASE).chk(EBX, 0, 0x1234), "CorruptionDetected"),
+        (lambda t: t.li(EBX, 7).assert_eq(EBX, 8), "AssertionFault"),
+        (lambda t: t.li(EBX, 7).assert_range(EBX, 9, 12), "AssertionFault"),
+        (lambda t: t.push(EAX).pop(EBX).pop(ECX), "SegmentationFault"),
+    ])
+    def test_fault_type_and_message_identical(self, build, expected):
+        trace = Trace("faulty")
+        build(trace)
+        slow = run_slow(trace)[0]
+        fast = run_fast(trace)[0]
+        assert slow == fast
+        assert slow[0] == "fault" and slow[1] == expected

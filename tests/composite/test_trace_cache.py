@@ -1,0 +1,112 @@
+"""Tier-1 trace compilation cache: hit behaviour, gating, determinism.
+
+The cache memoizes finished ``checked_create``/``checked_touch`` traces
+per (operation, label, record address, image words, argument words, …)
+key, so steady-state invocations reuse the prebuilt op list.  Correctness
+hinges on two properties tested here: a hit is bit-identical to the trace
+the builder would have produced (so campaign outcomes cannot move), and
+shared cached traces never grow (sealing).
+"""
+
+from __future__ import annotations
+
+from repro.composite import fastpath
+from repro.composite.machine import Trace
+from repro.composite.services.common import TraceCache
+from repro.composite.thread import Invoke
+from repro.swifi.campaign import CampaignRunner
+from repro.system import build_system
+
+
+def run_lock_workload(iterations: int = 25):
+    """Drive a take/release loop through the full invocation path."""
+    system = build_system(ft_mode="superglue")
+
+    def body(sys_, thread):
+        lock_id = yield Invoke("lock", "lock_alloc", "app0")
+        for __ in range(iterations):
+            yield Invoke("lock", "lock_take", "app0", lock_id)
+            yield Invoke("lock", "lock_release", "app0", lock_id)
+
+    system.kernel.create_thread("w", prio=5, home="app0", body_factory=body)
+    system.run(max_steps=20 * iterations + 100)
+    return system
+
+
+class TestTraceCacheBehaviour:
+    def test_steady_state_workload_hits_cache(self):
+        system = run_lock_workload(25)
+        stats = system.kernel.stats
+        # First take/release builds the traces; the other 24 pairs reuse
+        # them (plus the alloc miss).
+        assert stats["trace_cache_hits"] >= 40
+        assert stats["trace_cache_misses"] <= 6
+        assert stats["invocations"] > 0
+
+    def test_cached_traces_are_sealed_and_bounded(self):
+        system = run_lock_workload(2)
+        lock = system.kernel.component("lock")
+        cache = lock._trace_cache
+        assert cache is not None and cache.hits > 0
+        for trace in cache.entries.values():
+            assert trace.sealed
+            assert trace.ops[-1][0] == "ret"  # epilogue appended exactly once
+        assert len(cache.entries) <= cache.capacity
+
+    def test_env_gate_disables_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        system = run_lock_workload(5)
+        lock = system.kernel.component("lock")
+        assert lock._trace_cache is None
+        assert system.kernel.stats["trace_cache_hits"] == 0
+        assert system.kernel.stats["trace_cache_misses"] == 0
+
+    def test_fifo_eviction_bounds_entries(self):
+        cache = TraceCache(capacity=4)
+        for index in range(10):
+            cache.put(("k", index), Trace(f"t{index}"))
+        assert len(cache.entries) == 4
+        # Oldest entries evicted first.
+        assert cache.get(("k", 0)) is None
+        assert cache.get(("k", 9)) is not None
+
+    def test_double_finish_cannot_grow_cached_trace(self):
+        system = run_lock_workload(2)
+        lock = system.kernel.component("lock")
+        trace = next(iter(lock._trace_cache.entries.values()))
+        before = len(trace.ops)
+        lock.finish(trace, retval=0)  # legacy call pattern on a cache hit
+        assert len(trace.ops) == before
+
+
+class TestStubTrackingTraceCache:
+    def test_tracking_traces_are_reused(self):
+        system = run_lock_workload(10)
+        reused = False
+        for stub in system.kernel._stubs.values():
+            cache = getattr(stub, "_track_traces", None)
+            if cache is not None and cache.hits > 0:
+                reused = True
+        assert reused
+
+
+class TestDeterminism:
+    """Campaign outcomes are invariant under both engine tiers.
+
+    The seed fixes the injection schedule; the cache and the compiled
+    fast path must not move a single outcome.  This is the engine-level
+    version of the acceptance criterion that full ``table2`` rows stay
+    bit-identical.
+    """
+
+    def _campaign_counts(self):
+        result = CampaignRunner("lock", n_faults=8, seed=3).run(workers=1)
+        return {o.value: c for o, c in result.counter.counts.items()}
+
+    def test_outcomes_identical_with_engine_disabled(self, monkeypatch):
+        with_engine = self._campaign_counts()
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        monkeypatch.setattr(fastpath, "FAST_INTERP_ENABLED", False)
+        without_engine = self._campaign_counts()
+        assert with_engine == without_engine
+        assert sum(with_engine.values()) == 8

@@ -97,7 +97,7 @@ def test_micro_reboot_restores_exact_image(writes):
     for offset, value in writes:
         image.write_word(BASE + offset, value ^ 0xFFFF, tainted=True)
     image.micro_reboot()
-    assert image.words == frozen
+    assert list(image.words) == frozen
     assert not any(image.is_tainted(BASE + off) for off, __ in writes)
 
 
