@@ -3,8 +3,12 @@
 Commands:
 
 * ``table2 [--faults N] [--mode MODE] [--workers N] [--resume PATH]
-  [--json PATH]`` — the SWIFI campaign (Table II), fanned out over a
-  process pool with a resumable JSONL journal
+  [--json PATH] [--trace PATH]`` — the SWIFI campaign (Table II), fanned
+  out over a process pool with a resumable JSONL journal; ``--trace``
+  additionally records every run under the flight recorder and exports
+  the event journals + metrics as a JSONL trace artifact
+* ``trace PATH [--run SEED] [--full] [--validate]`` — render a recorded
+  trace artifact: campaign roll-up plus one run's recovery timeline
 * ``fig6`` — tracking overhead, recovery overhead, LOC tables (Fig. 6)
 * ``fig7 [--requests N]`` — web-server throughput (Fig. 7)
 * ``compile <service|path.idl>`` — show compiler output for one interface
@@ -33,6 +37,15 @@ def _cmd_table2(args) -> int:
         except OSError as exc:
             print(f"cannot write --json {args.json}: {exc}", file=sys.stderr)
             return 1
+    if args.trace:
+        # The exporter appends one section per service campaign, so the
+        # artifact must start empty (and be writable) up front.
+        try:
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"cannot write --trace {args.trace}: {exc}", file=sys.stderr)
+            return 1
     print(
         f"SWIFI campaign: {args.faults} faults per service "
         f"({args.mode} stubs, {args.workers} worker(s))"
@@ -43,11 +56,64 @@ def _cmd_table2(args) -> int:
         seed=args.seed,
         workers=args.workers,
         journal=args.resume,
+        trace=args.trace,
     )
     print(format_table2(results))
     if args.json:
         write_table2_json(results, args.json)
         print(f"wrote {args.json}")
+    if args.trace:
+        print(
+            f"wrote {args.trace} "
+            f"(render with: python -m repro trace {args.trace})"
+        )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.observe.events import EventSchemaError
+    from repro.observe.export import load_runs, read_trace
+    from repro.observe.timeline import (
+        RECOVERY_EVENTS,
+        pick_default_run,
+        render_rollup,
+        render_run_timeline,
+    )
+
+    if not os.path.exists(args.path):
+        print(f"no such trace artifact: {args.path}", file=sys.stderr)
+        return 1
+    try:
+        if args.validate:
+            n_lines = sum(1 for _ in read_trace(args.path, validate=True))
+            runs, summaries = load_runs(args.path)
+            print(
+                f"{args.path}: {n_lines} lines OK "
+                f"({len(runs)} runs, {len(summaries)} summaries)"
+            )
+            return 0
+        runs, summaries = load_runs(args.path)
+    except EventSchemaError as exc:
+        print(f"invalid trace artifact: {exc}", file=sys.stderr)
+        return 1
+    if not runs and not summaries:
+        print(f"{args.path}: empty trace artifact", file=sys.stderr)
+        return 1
+    print(render_rollup(runs, summaries))
+    if args.run is not None:
+        selected = [run for run in runs if run["run_seed"] == args.run]
+        if not selected:
+            print(f"no run with seed {args.run} in {args.path}",
+                  file=sys.stderr)
+            return 1
+        chosen = selected
+    else:
+        default = pick_default_run(runs)
+        chosen = [default] if default is not None else []
+    include = None if args.full else RECOVERY_EVENTS
+    for run in chosen:
+        print()
+        print(render_run_timeline(run, include=include))
     return 0
 
 
@@ -169,7 +235,36 @@ def main(argv=None) -> int:
         default=None,
         help="write the Table II rows as a JSON artifact",
     )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record every run under the flight recorder and export the "
+        "event journals + metrics to this JSONL trace artifact",
+    )
     p.set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser("trace", help="render a flight-recorder artifact")
+    p.add_argument("path", help="JSONL trace artifact (from table2 --trace)")
+    p.add_argument(
+        "--run",
+        type=int,
+        metavar="SEED",
+        default=None,
+        help="render the timeline for this run seed (default: the most "
+        "interesting recovery arc)",
+    )
+    p.add_argument(
+        "--full",
+        action="store_true",
+        help="include every event (default: recovery-relevant events only)",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate every line against the event schema and exit",
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("fig6", help="overhead + LOC tables")
     p.add_argument("--runs", type=int, default=20)

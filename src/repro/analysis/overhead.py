@@ -26,6 +26,11 @@ def _run_workload(ft_mode: str, service: str, iterations: int):
     workload = workload_for(service)
     handle = workload.install(system, iterations=iterations)
     system.run(max_steps=200_000)
+    if handle.budget_exhausted:
+        raise RuntimeError(
+            f"{service} workload under {ft_mode} exhausted its step budget "
+            f"(livelock?): {handle.results}"
+        )
     if not handle.check():
         raise RuntimeError(
             f"{service} workload failed under {ft_mode}: {handle.results}"

@@ -27,6 +27,11 @@ class Booter:
 
     def handle_fault(self, component, fault: SimulatedFault) -> None:
         """Micro-reboot ``component`` after a detected fail-stop fault."""
+        recorder = self.kernel.recorder
+        if recorder.enabled:
+            recorder.emit(
+                "micro_reboot_begin", component=component.name, kind=fault.kind
+            )
         cost = component.micro_reboot()
         self.kernel.charge(None, cost)
         self.kernel.stats["micro_reboots"] += 1
@@ -38,6 +43,14 @@ class Booter:
         # and any server-side bookkeeping.
         if self.kernel.recovery_manager is not None:
             self.kernel.recovery_manager.on_micro_reboot(component, fault)
+        if recorder.enabled:
+            recorder.emit(
+                "micro_reboot_end",
+                component=component.name,
+                epoch=component.reboot_epoch,
+                cost_cycles=cost,
+            )
+            recorder.metrics.counter("micro_reboots").inc()
 
     @property
     def reboots(self) -> int:

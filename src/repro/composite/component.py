@@ -119,16 +119,36 @@ class Component:
             regs.write(reg, value)
         injection = None
         kernel = self.kernel
+        recorder = kernel.recorder if kernel is not None else None
+        traced = recorder is not None and recorder.enabled
         if kernel is not None and kernel.swifi is not None:
             injection = kernel.swifi.take_injection(self.name, len(trace))
+            if injection is not None and traced:
+                # The flip is applied inside the upcoming execution;
+                # record exactly where it lands.  Events are emitted only
+                # here, at the trace-execution boundary — never from
+                # inside the interpreter or the compiled fast path.
+                recorder.emit(
+                    "swifi_inject",
+                    component=self.name,
+                    reg=injection.reg,
+                    bit=injection.bit,
+                    op_index=injection.op_index,
+                    trace_len=len(trace),
+                    label=trace.label,
+                )
         try:
             # Tier 2: no pending injection and no live taint means the
             # taint machinery is provably inert — run the compiled clean
             # path.  Anything else takes the authoritative interpreter.
             result = None
             if injection is None:
-                result = try_execute_fast(trace, regs, self.image, self.name)
-            if result is None:
+                result = try_execute_fast(
+                    trace, regs, self.image, self.name,
+                    recorder=recorder if traced else None,
+                )
+            fast = result is not None
+            if not fast:
                 result = execute_trace(
                     trace, regs, self.image, component_name=self.name,
                     injection=injection,
@@ -143,6 +163,15 @@ class Component:
             if kernel is not None:
                 kernel.charge(thread, 3 * len(trace))
             raise
+        if traced:
+            recorder.emit(
+                "trace_exec",
+                component=self.name,
+                label=trace.label,
+                fast=fast,
+                injected=injection is not None,
+                cycles=result.cycles,
+            )
         if kernel is not None:
             kernel.charge(thread, result.cycles)
         return result

@@ -245,7 +245,7 @@ def compile_trace(trace: Trace, memory, component_name: str = "?") -> FastProgra
 
 
 def try_execute_fast(
-    trace: Trace, regs, memory, component_name: str = "?"
+    trace: Trace, regs, memory, component_name: str = "?", recorder=None
 ) -> Optional[TraceResult]:
     """Execute ``trace`` on the compiled clean path, if eligible.
 
@@ -254,6 +254,11 @@ def try_execute_fast(
     :func:`~repro.composite.machine.execute_trace`.  The caller is
     responsible for ensuring no injection is pending.  Simulated faults
     propagate exactly as from the slow path.
+
+    ``recorder`` is an (already enabled) flight recorder, or ``None``;
+    it observes only the compile/attach boundary — nothing is emitted
+    per executed micro-op, so tracing cannot perturb the fast path's
+    per-op loop.
     """
     if not FAST_INTERP_ENABLED:
         return None
@@ -278,5 +283,12 @@ def try_execute_fast(
             return None
         program = compile_trace(trace, memory, component_name)
         trace._compiled = program
+        if recorder is not None:
+            recorder.emit(
+                "fastpath_compile",
+                component=component_name,
+                label=trace.label,
+                ops=program.n_ops,
+            )
     value, cycles = program.run(regs.values, memory.words)
     return TraceResult(value, False, cycles, 0)

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.composite.scheduler import RunQueue, VirtualClock
 from repro.composite.thread import Invoke, SimThread, ThreadState, Yield
+from repro.observe import recorder_for
 from repro.errors import (
     BlockThread,
     CapabilityError,
@@ -58,6 +59,11 @@ class Kernel:
             raise ConfigurationError(f"unknown ft_mode {ft_mode!r}")
         self.ft_mode = ft_mode
         self.clock = VirtualClock()
+        #: Flight recorder (repro.observe): the shared no-op singleton
+        #: unless tracing is enabled, in which case a live ring-buffer
+        #: recorder stamped by this kernel's virtual clock.  Hot paths
+        #: guard every emission on ``recorder.enabled``.
+        self.recorder = recorder_for(self.clock)
         self.run_queue = RunQueue()
         self.components: Dict[str, object] = {}
         self.threads: Dict[int, SimThread] = {}
@@ -83,7 +89,12 @@ class Kernel:
             "interp_slow_runs": 0,
             "trace_cache_hits": 0,
             "trace_cache_misses": 0,
+            # Times a run() call returned with its step budget exhausted
+            # while runnable/blocked work remained (see Kernel.run).
+            "budget_exhausted": 0,
         }
+        #: Whether the most recent run() ended on an exhausted budget.
+        self.last_run_exhausted = False
         #: Hooks observing every fault vectoring: f(component, fault).
         self.fault_observers: List[Callable] = []
 
@@ -156,6 +167,40 @@ class Kernel:
         thread._last_stub = stub
         self.stats["invocations"] += 1
         thread.invocations += 1
+        recorder = self.recorder
+        if not recorder.enabled:
+            return self._dispatch_invoke(thread, action, stub)
+        # Traced invocation span: entry event plus a completion event
+        # carrying the span's status and virtual-cycle cost.
+        recorder.emit(
+            "invoke",
+            tid=thread.tid,
+            client=client,
+            server=action.server,
+            fn=action.fn,
+        )
+        start = self.clock.now
+        status = "ok"
+        try:
+            return self._dispatch_invoke(thread, action, stub)
+        except BlockThread:
+            status = "blocked"
+            raise
+        except SimulatedFault:
+            status = "crash"
+            raise
+        finally:
+            recorder.emit(
+                "invoke_end",
+                tid=thread.tid,
+                server=action.server,
+                fn=action.fn,
+                status=status,
+                cycles=self.clock.now - start,
+            )
+
+    def _dispatch_invoke(self, thread: SimThread, action: Invoke, stub):
+        """Route an invocation through its client stub (if any)."""
         if stub is None:
             result = self.raw_invoke(thread, action.server, action.fn, action.args)
             if result is FAULT:
@@ -210,6 +255,10 @@ class Kernel:
         component = self.component(component_name)
         self.charge(thread, UPCALL_CYCLES)
         self.stats["upcalls"] += 1
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "upcall", tid=thread.tid, component=component_name, fn=fn
+            )
         prev = thread.executing_in
         thread.executing_in = component_name
         try:
@@ -224,6 +273,26 @@ class Kernel:
         """Hardware exception handler: divert to the booter (step 2)."""
         self.stats["faults_vectored"] += 1
         component.faults_detected += 1
+        recorder = self.recorder
+        if recorder.enabled:
+            # Detection latency: virtual cycles between the SWIFI flip
+            # landing and this fault being vectored (None for faults
+            # with no preceding injection, e.g. monitor scrub hits on
+            # residual corruption).
+            latency = None
+            if self.swifi is not None:
+                latency = self.swifi.consume_delivery_latency(self.clock.now)
+            if latency is not None:
+                recorder.metrics.histogram(
+                    "detection_latency_cycles"
+                ).observe(latency)
+            recorder.emit(
+                "fault_vectored",
+                component=component.name,
+                kind=fault.kind,
+                message=str(fault),
+                detection_latency=latency,
+            )
         for observer in self.fault_observers:
             observer(component, fault)
         if self.ft_mode == "none":
@@ -340,8 +409,17 @@ class Kernel:
     def run(self, max_steps: int = 1_000_000, max_cycles: Optional[int] = None):
         """Run until all threads finish, the system crashes, or a budget ends.
 
-        Returns the number of scheduling steps taken.
+        Returns the number of scheduling steps taken.  Exhausting
+        ``max_steps`` while live work remains is *not* clean completion
+        — historically the two were indistinguishable, so callers could
+        misread a livelocked run as success.  That condition is now
+        counted in ``stats["budget_exhausted"]`` and exposed per call as
+        :attr:`budget_exhausted` (reset at the start of each ``run()``,
+        so a resumed system that later finishes cleanly is not still
+        marked exhausted); workload ``check()`` paths and the campaign
+        classifier consult it.
         """
+        self.last_run_exhausted = False
         steps = 0
         while steps < max_steps:
             if self.crashed is not None:
@@ -363,7 +441,19 @@ class Kernel:
             self._step(thread)
             steps += 1
             self.stats["steps"] += 1
+        if (
+            steps >= max_steps
+            and self.crashed is None
+            and not self.run_queue.all_done()
+        ):
+            self.stats["budget_exhausted"] += 1
+            self.last_run_exhausted = True
         return steps
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """Did the most recent ``run()`` exhaust its step budget?"""
+        return self.last_run_exhausted
 
     def _step(self, thread: SimThread) -> None:
         self.current = thread

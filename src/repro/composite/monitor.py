@@ -37,11 +37,16 @@ class LatentFaultMonitor:
                  period: int = DEFAULT_SCRUB_PERIOD):
         self.kernel = kernel
         self.period = period
-        self.targets = targets or [
-            name
-            for name, component in kernel.components.items()
-            if isinstance(component, ServiceComponent)
-        ]
+        # ``targets or [...]`` would treat an explicit empty list as
+        # "monitor everything"; only ``None`` means "default to all
+        # service components".
+        if targets is None:
+            targets = [
+                name
+                for name, component in kernel.components.items()
+                if isinstance(component, ServiceComponent)
+            ]
+        self.targets = targets
         self.scrubs = 0
         self.detections: List[Tuple[int, str, int]] = []  # (clock, comp, addr)
         self._armed = False
@@ -108,6 +113,12 @@ class LatentFaultMonitor:
         self.detections.append(
             (self.kernel.clock.now, component_name, bad_addr)
         )
+        recorder = self.kernel.recorder
+        if recorder.enabled:
+            recorder.emit(
+                "scrub_detection", component=component_name, addr=bad_addr
+            )
+            recorder.metrics.counter("scrub_detections").inc()
         fault = CorruptionDetected(
             f"latent corruption at {bad_addr:#x} found by monitor scrub",
             component=component_name,

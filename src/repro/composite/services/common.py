@@ -294,6 +294,16 @@ class ServiceComponent(Component):
     def _cache_store(self, key: Optional[tuple], trace: Trace) -> None:
         if key is not None:
             self._trace_cache.put(key, trace)
+            if self.kernel is not None and self.kernel.recorder.enabled:
+                # A store follows a cache miss: the builder just
+                # constructed this trace from scratch.  Steady state hits
+                # the cache, so these events mark working-set growth.
+                self.kernel.recorder.emit(
+                    "trace_build",
+                    component=self.name,
+                    label=trace.label,
+                    ops=len(trace),
+                )
 
     def checked_create(
         self,

@@ -61,6 +61,10 @@ class RecoveryManager:
         self.reboot_events.append(
             (self.kernel.clock.now, component.name, woken)
         )
+        if self.kernel.recorder.enabled:
+            self.kernel.recorder.emit(
+                "t0_wake", component=component.name, woken=woken
+            )
         if self.mode == "eager" and ir is not None:
             thread = self.kernel.current
             if thread is not None:
@@ -71,6 +75,10 @@ class RecoveryManager:
     # ------------------------------------------------------------------
     def record_descriptor_recovery(self, service: str, cycles: int) -> None:
         self.recovery_samples.setdefault(service, []).append(cycles)
+        if self.kernel.recorder.enabled:
+            self.kernel.recorder.metrics.histogram(
+                "recovery_cycles"
+            ).observe(cycles)
 
     def mean_recovery_cycles(self, service: str) -> Optional[float]:
         samples = self.recovery_samples.get(service)

@@ -27,6 +27,7 @@ from repro.composite.services.common import TraceCache
 from repro.core.compiler.ir import FunctionIR, InterfaceIR
 from repro.core.runtime.tracking import DescriptorEntry, TrackingTable
 from repro.errors import InvalidDescriptor, RecoveryError
+from repro.observe import scalar as _scalar
 
 #: Magic word guarding client-side tracking records.
 TRACK_MAGIC = 0x7AC4E001
@@ -124,6 +125,10 @@ class ClientStubRuntime:
         self.stats["fault_updates"] += 1
         kernel.charge(thread, FAULT_UPDATE_CYCLES)
         self.seen_epoch = self.epoch(kernel)
+        if kernel.recorder.enabled:
+            kernel.recorder.emit(
+                "fault_update", server=self.server, epoch=self.seen_epoch
+            )
 
     def client_image(self, kernel):
         return kernel.component(self.client).image
@@ -321,6 +326,14 @@ class ClientStubRuntime:
             self._record_alias(kernel, thread, old_sid, entry.sid)
         self.stats["recoveries"] += 1
         self.stats["recovery_cycles"] += kernel.clock.now - start
+        if kernel.recorder.enabled:
+            kernel.recorder.emit(
+                "descriptor_recovery",
+                server=self.server,
+                cdesc=_scalar(entry.cdesc),
+                sid=_scalar(entry.sid),
+                cycles=kernel.clock.now - start,
+            )
         manager = kernel.recovery_manager
         if manager is not None:
             manager.record_descriptor_recovery(
@@ -341,6 +354,14 @@ class ClientStubRuntime:
     def _replay(self, kernel, thread, fn_name: str, entry: DescriptorEntry):
         fn_ir = self.ir.functions[fn_name]
         args = self._reconstruct_args(fn_ir, entry)
+        if kernel.recorder.enabled:
+            kernel.recorder.emit(
+                "replay",
+                server=self.server,
+                fn=fn_name,
+                sid=_scalar(entry.sid),
+            )
+            kernel.recorder.metrics.counter("replays").inc()
         principal = entry.meta.get(OWNER_KEY, thread.tid)
         replay_thread = (
             TidProxy(thread, principal) if principal != thread.tid else thread

@@ -1,0 +1,204 @@
+"""JSONL trace artifacts: writing, reading, validating.
+
+A trace file is a sequence of JSON lines of three types:
+
+* ``{"type": "run", ...}`` — one per injection run: the run's identity
+  (spec fingerprint + seed), its derived injection point, its outcome,
+  and how many events follow;
+* ``{"type": "event", "run_seed": ..., "seq": ..., "t": ..., "event":
+  ..., "data": {...}}`` — the run's flight-recorder events, oldest
+  first, stamped with the virtual clock; and
+* ``{"type": "summary", ...}`` — one per campaign (per spec
+  fingerprint): outcome tallies and the deterministically merged
+  metrics registry.
+
+Lines for one run are contiguous (header first), and runs appear in
+seed-schedule order regardless of how many workers executed them — a
+traced parallel campaign exports the byte-identical file a serial one
+does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.observe.events import (
+    EventSchemaError,
+    SCHEMA_VERSION,
+    validate_event,
+)
+
+_RUN_REQUIRED = frozenset(
+    {
+        "type", "schema", "fingerprint", "run_seed", "service", "ft_mode",
+        "injection_point", "horizon", "outcome", "steps", "events",
+        "dropped_events",
+    }
+)
+_EVENT_REQUIRED = frozenset({"type", "run_seed", "seq", "t", "event", "data"})
+_SUMMARY_REQUIRED = frozenset(
+    {
+        "type", "schema", "fingerprint", "runs", "replayed", "outcomes",
+        "metrics",
+    }
+)
+
+
+def run_header(record: Dict[str, object]) -> Dict[str, object]:
+    """The ``type: run`` line for one traced run record."""
+    return {
+        "type": "run",
+        "schema": SCHEMA_VERSION,
+        "fingerprint": record["fingerprint"],
+        "run_seed": record["run_seed"],
+        "service": record["service"],
+        "ft_mode": record["ft_mode"],
+        "injection_point": record["injection_point"],
+        "horizon": record["horizon"],
+        "outcome": record["outcome"],
+        "steps": record["steps"],
+        "events": len(record["events"]),
+        "dropped_events": record.get("dropped_events", 0),
+    }
+
+
+def write_run(handle, record: Dict[str, object]) -> None:
+    """Append one run (header + its events) to an open text handle."""
+    handle.write(json.dumps(run_header(record)) + "\n")
+    run_seed = record["run_seed"]
+    for event in record["events"]:
+        line = {
+            "type": "event",
+            "run_seed": run_seed,
+            "seq": event["seq"],
+            "t": event["t"],
+            "event": event["event"],
+            "data": event["data"],
+        }
+        handle.write(json.dumps(line) + "\n")
+
+
+def write_summary(
+    handle,
+    fingerprint: str,
+    runs: int,
+    replayed: int,
+    outcomes: Dict[str, int],
+    metrics: Dict[str, object],
+) -> None:
+    """Append one campaign summary line."""
+    handle.write(
+        json.dumps(
+            {
+                "type": "summary",
+                "schema": SCHEMA_VERSION,
+                "fingerprint": fingerprint,
+                "runs": runs,
+                "replayed": replayed,
+                "outcomes": dict(sorted(outcomes.items())),
+                "metrics": metrics,
+            }
+        )
+        + "\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Validation and reading
+# ---------------------------------------------------------------------------
+def validate_line(obj: Dict[str, object]) -> None:
+    """Validate one parsed trace line; raises :class:`EventSchemaError`."""
+    if not isinstance(obj, dict):
+        raise EventSchemaError(f"trace line is not an object: {obj!r}")
+    kind = obj.get("type")
+    if kind == "run":
+        missing = _RUN_REQUIRED - set(obj)
+        if missing:
+            raise EventSchemaError(f"run line missing {sorted(missing)}")
+        if obj["schema"] != SCHEMA_VERSION:
+            raise EventSchemaError(
+                f"unsupported trace schema {obj['schema']!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+    elif kind == "event":
+        missing = _EVENT_REQUIRED - set(obj)
+        if missing:
+            raise EventSchemaError(f"event line missing {sorted(missing)}")
+        if not isinstance(obj["seq"], int) or not isinstance(obj["t"], int):
+            raise EventSchemaError("event seq/t must be integers")
+        if obj["t"] < 0:
+            raise EventSchemaError("event timestamp is negative")
+        validate_event(obj["event"], obj["data"])
+    elif kind == "summary":
+        missing = _SUMMARY_REQUIRED - set(obj)
+        if missing:
+            raise EventSchemaError(f"summary line missing {sorted(missing)}")
+        if obj["schema"] != SCHEMA_VERSION:
+            raise EventSchemaError(
+                f"unsupported trace schema {obj['schema']!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+    else:
+        raise EventSchemaError(f"unknown trace line type {kind!r}")
+
+
+def read_trace(path: str, validate: bool = True) -> Iterator[Dict[str, object]]:
+    """Yield parsed lines of a trace file, optionally validating each.
+
+    A truncated final line (campaign killed mid-write) is tolerated and
+    skipped, mirroring the campaign journal's behavior; any other
+    malformed content raises.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        pending = None
+        for raw in handle:
+            if pending is not None:
+                raise EventSchemaError("unparseable non-final trace line")
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            try:
+                obj = json.loads(stripped)
+            except ValueError:
+                pending = stripped  # only acceptable as the final line
+                continue
+            if validate:
+                validate_line(obj)
+            yield obj
+
+
+def load_runs(
+    path: str, validate: bool = True
+) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
+    """Group a trace file into per-run records plus campaign summaries.
+
+    Returns ``(runs, summaries)`` where each run dict is its header line
+    with an ``"events"`` list of the run's event lines attached (sorted
+    by sequence number, though files are written in order already).
+    """
+    runs: List[Dict[str, object]] = []
+    summaries: List[Dict[str, object]] = []
+    for obj in read_trace(path, validate=validate):
+        if obj["type"] == "run":
+            run = dict(obj)
+            run["events"] = []
+            runs.append(run)
+        elif obj["type"] == "event":
+            run = _run_for_event(runs, obj)
+            if run is not None:
+                run["events"].append(obj)
+        else:
+            summaries.append(obj)
+    for run in runs:
+        run["events"].sort(key=lambda e: e["seq"])
+    return runs, summaries
+
+
+def _run_for_event(runs, event) -> Optional[Dict[str, object]]:
+    """Find the run an event line belongs to (most recent header wins)."""
+    seed = event["run_seed"]
+    for run in reversed(runs):
+        if run["run_seed"] == seed:
+            return run
+    return None

@@ -1,0 +1,169 @@
+"""Counters and histograms for the flight recorder.
+
+The registry is deliberately integer-only: SWIFI campaigns merge one
+serialized registry per worker into a campaign aggregate, and integer
+addition is associative and commutative, so the merged result is
+bit-identical regardless of worker count, chunking, or completion
+order.  (Floating-point sums would not be.)
+
+Histograms use power-of-two buckets (bucket *i* holds values whose bit
+length is *i*, i.e. ``[2**(i-1), 2**i)``), which is plenty of
+resolution for cycle-count distributions — recovery-cycle and
+detection-latency values span several orders of magnitude — while
+keeping the serialized form small and the merge a plain per-bucket
+add.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Power-of-two-bucket distribution of non-negative integers."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = None  # type: ignore[assignment]
+        self.max = None  # type: ignore[assignment]
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: int) -> None:
+        value = int(value)
+        if value < 0:
+            value = 0
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = value.bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            # JSON object keys are strings; sort for a canonical form.
+            "buckets": {
+                str(k): self.buckets[k] for k in sorted(self.buckets)
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        return histogram
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical (sorted-key) serialized form, safe to JSON-dump."""
+        return {
+            "counters": {
+                name: self.counters[name].value
+                for name in sorted(self.counters)
+            },
+            "histograms": {
+                name: self.histograms[name].to_dict()
+                for name in sorted(self.histograms)
+            },
+        }
+
+
+def merge_metrics(
+    into: Dict[str, object], other: Dict[str, object]
+) -> Dict[str, object]:
+    """Merge one serialized registry into another, in place.
+
+    Both arguments are ``MetricsRegistry.to_dict()`` shapes.  All the
+    combining operations are integer adds (plus min/max), so merging is
+    order-independent: serial and parallel campaigns aggregate to the
+    same dict.  Returns ``into``.
+    """
+    counters = into.setdefault("counters", {})
+    for name, value in other.get("counters", {}).items():
+        counters[name] = counters.get(name, 0) + value
+    histograms = into.setdefault("histograms", {})
+    for name, h in other.get("histograms", {}).items():
+        merged = histograms.get(name)
+        if merged is None:
+            histograms[name] = {
+                "count": h["count"],
+                "total": h["total"],
+                "min": h["min"],
+                "max": h["max"],
+                "buckets": dict(h["buckets"]),
+            }
+            continue
+        merged["count"] += h["count"]
+        merged["total"] += h["total"]
+        for bound in ("min", "max"):
+            ours, theirs = merged[bound], h[bound]
+            if ours is None:
+                merged[bound] = theirs
+            elif theirs is not None:
+                merged[bound] = (
+                    min(ours, theirs) if bound == "min" else max(ours, theirs)
+                )
+        buckets = merged["buckets"]
+        for key, count in h["buckets"].items():
+            buckets[key] = buckets.get(key, 0) + count
+    return into
+
+
+def canonical_metrics(metrics: Dict[str, object]) -> Dict[str, object]:
+    """Sort all keys so two equal registries serialize identically."""
+    return {
+        "counters": dict(sorted(metrics.get("counters", {}).items())),
+        "histograms": {
+            name: {
+                "count": h["count"],
+                "total": h["total"],
+                "min": h["min"],
+                "max": h["max"],
+                "buckets": dict(
+                    sorted(h["buckets"].items(), key=lambda kv: int(kv[0]))
+                ),
+            }
+            for name, h in sorted(metrics.get("histograms", {}).items())
+        },
+    }

@@ -55,6 +55,18 @@ class RunSpec:
     horizon: int
     recovery_mode: str = "ondemand"
 
+    def __post_init__(self) -> None:
+        # A zero/negative horizon used to be silently masked to 1 by
+        # injection_point, turning "the workload never executed in the
+        # target" into "always inject at trace execution 0".  Fail loudly
+        # instead: an empty horizon means the calibration was wrong.
+        if self.horizon < 1:
+            raise ValueError(
+                f"RunSpec horizon must be >= 1 (got {self.horizon}): an "
+                f"empty injection horizon means the workload never "
+                f"executes in {self.service!r}"
+            )
+
     def fingerprint(self) -> str:
         """Stable identity string, used to match journal entries."""
         return (
@@ -64,8 +76,15 @@ class RunSpec:
 
 
 def injection_point(run_seed: int, horizon: int) -> int:
-    """Injection point for one run, a pure function of its seed."""
-    return random.Random(run_seed).randrange(max(horizon, 1))
+    """Injection point for one run, a pure function of its seed.
+
+    ``horizon`` must be at least 1; masking an empty horizon (the old
+    ``max(horizon, 1)``) would silently inject at trace execution 0 of a
+    workload that never runs in the target.
+    """
+    if horizon < 1:
+        raise ValueError(f"injection horizon must be >= 1, got {horizon}")
+    return random.Random(run_seed).randrange(horizon)
 
 
 def execute_run(spec: RunSpec, run_seed: int) -> Outcome:
@@ -74,6 +93,57 @@ def execute_run(spec: RunSpec, run_seed: int) -> Outcome:
     Module-level (picklable) so a :class:`ProcessPoolExecutor` worker can
     execute it from a submitted ``(spec, seeds)`` chunk.
     """
+    outcome, __, __, __ = _drive_run(spec, run_seed)
+    return outcome
+
+
+def execute_run_traced(spec: RunSpec, run_seed: int):
+    """Run one injection with the flight recorder on; returns
+    ``(outcome, run_record)``.
+
+    The run record is a JSON-safe dict — the run's identity, its derived
+    injection point, outcome, recorded events, and per-run metrics —
+    ready for :func:`repro.observe.export.write_run`.  Tracing is forced
+    for the scope of the run only, so workers trace their runs whether
+    or not ``REPRO_TRACE`` is set in their environment.  Event emission
+    never feeds back into execution, so the outcome is identical to the
+    untraced :func:`execute_run` for the same ``(spec, run_seed)``.
+    """
+    from repro import observe
+
+    with observe.tracing(True):
+        outcome, system, swifi, steps = _drive_run(spec, run_seed)
+        recorder = system.kernel.recorder
+        metrics = recorder.metrics
+        # Fold the kernel's whole-run counters into the per-run registry
+        # so campaign aggregation sees engine + recovery statistics in
+        # one deterministic place.
+        for stat in (
+            "invocations", "upcalls", "faults_vectored", "micro_reboots",
+            "steps", "interp_fast_runs", "interp_slow_runs",
+            "trace_cache_hits", "trace_cache_misses", "budget_exhausted",
+        ):
+            metrics.counter(stat).inc(system.kernel.stats[stat])
+        metrics.counter("runs").inc()
+        metrics.counter(f"outcome_{outcome.value}").inc()
+        record = {
+            "fingerprint": spec.fingerprint(),
+            "run_seed": run_seed,
+            "service": spec.service,
+            "ft_mode": spec.ft_mode,
+            "injection_point": injection_point(run_seed, spec.horizon),
+            "horizon": spec.horizon,
+            "outcome": outcome.value,
+            "steps": steps,
+            "events": recorder.events(),
+            "dropped_events": recorder.dropped,
+            "metrics": metrics.to_dict(),
+        }
+    return outcome, record
+
+
+def _drive_run(spec: RunSpec, run_seed: int):
+    """Boot a fresh system, inject per the spec, run it to an end state."""
     system = build_system(ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode)
     swifi = SwifiController(system.kernel, seed=run_seed)
     workload = workload_for(spec.service)
@@ -92,7 +162,8 @@ def execute_run(spec: RunSpec, run_seed: int) -> Outcome:
         crash = fault
     if system.kernel.crashed is not None and crash is None:
         crash = system.kernel.crashed
-    return classify_run(spec.ft_mode, system, swifi, handle, crash, steps)
+    outcome = classify_run(spec.ft_mode, system, swifi, handle, crash, steps)
+    return outcome, system, swifi, steps
 
 
 def classify_run(ft_mode, system, swifi, handle, crash, steps) -> Outcome:
@@ -105,8 +176,11 @@ def classify_run(ft_mode, system, swifi, handle, crash, steps) -> Outcome:
         if kind == "propagated":
             return Outcome.NOT_RECOVERED_PROPAGATED
         return Outcome.NOT_RECOVERED_OTHER
-    if steps >= MAX_STEPS:
-        # Livelock: latent fault kept the system spinning.
+    if system.kernel.budget_exhausted:
+        # Livelock: latent fault kept the system spinning past the step
+        # budget with live work remaining (distinguished, since the
+        # budget-exhaustion bugfix, from a run that merely *finished*
+        # near the budget).
         return Outcome.NOT_RECOVERED_OTHER
     workload_ok = handle.check()
     rebooted = system.booter.reboots > 0
@@ -220,6 +294,7 @@ class CampaignRunner:
         progress=None,
         workers: Optional[int] = None,
         journal: Optional[str] = None,
+        trace: Optional[str] = None,
     ) -> CampaignResult:
         """Run the campaign.
 
@@ -229,7 +304,9 @@ class CampaignRunner:
         seed.  ``journal`` names a JSONL
         checkpoint file: completed runs are appended as they finish and
         skipped on a rerun, so an interrupted campaign resumes where it
-        left off.
+        left off.  ``trace`` names a flight-recorder JSONL artifact:
+        every run executes with tracing on and its event journal +
+        metrics are appended there (outcomes are unchanged by tracing).
         """
         from repro.swifi.parallel import run_campaign
 
@@ -239,6 +316,7 @@ class CampaignRunner:
             workers=workers,
             journal=journal,
             progress=progress,
+            trace=trace,
         )
         return CampaignResult(
             service=self.service,
@@ -255,12 +333,15 @@ def run_full_campaign(
     seed: int = 0,
     workers: Optional[int] = None,
     journal: Optional[str] = None,
+    trace: Optional[str] = None,
 ) -> List[CampaignResult]:
     """Reproduce Table II: one campaign per target service.
 
     One journal file covers the whole multi-service campaign: entries
     carry the run spec's fingerprint, so each service resumes only its
-    own completed runs.
+    own completed runs.  Likewise one ``trace`` artifact accumulates the
+    flight-recorder export of every service's campaign (each appends its
+    runs and a per-campaign summary line).
     """
     from repro.idl_specs import SERVICES
 
@@ -269,7 +350,7 @@ def run_full_campaign(
         runner = CampaignRunner(
             service, ft_mode=ft_mode, n_faults=n_faults, seed=seed
         )
-        results.append(runner.run(workers=workers, journal=journal))
+        results.append(runner.run(workers=workers, journal=journal, trace=trace))
     return results
 
 

@@ -36,17 +36,28 @@ class Outcome(enum.Enum):
 OUTCOMES = list(Outcome)
 
 
+#: Cap on retained per-outcome detail strings: large campaigns (500
+#: faults x 6 services, or far bigger parallel sweeps) must not grow an
+#: unbounded side list nobody reads past the first page.  Overflow is
+#: counted, not silently discarded.
+MAX_DETAILS = 1000
+
+
 @dataclass
 class OutcomeCounter:
     """Aggregates outcomes into the Table II row statistics."""
 
     counts: Dict[Outcome, int] = field(default_factory=dict)
     details: List[str] = field(default_factory=list)
+    details_dropped: int = 0
 
     def add(self, outcome: Outcome, detail: str = "") -> None:
         self.counts[outcome] = self.counts.get(outcome, 0) + 1
         if detail:
-            self.details.append(f"{outcome.value}: {detail}")
+            if len(self.details) < MAX_DETAILS:
+                self.details.append(f"{outcome.value}: {detail}")
+            else:
+                self.details_dropped += 1
 
     def count(self, outcome: Outcome) -> int:
         return self.counts.get(outcome, 0)

@@ -62,6 +62,10 @@ class SwifiController:
         self.delivered: List[Injection] = []
         #: trace executions observed per component (for calibration)
         self.trace_counts = {}
+        #: Virtual clock of the most recent delivery whose detection has
+        #: not been observed yet; the kernel consumes it on the next
+        #: vectored fault to compute the detection latency.
+        self.last_delivery_clock: Optional[int] = None
 
     # ------------------------------------------------------------------
     def arm(
@@ -81,6 +85,15 @@ class SwifiController:
         if bit is None:
             bit = self.rng.choice(self._eligible_bits)
         self.pending = PlannedInjection(component, reg, bit, after_executions)
+        recorder = self.kernel.recorder
+        if recorder.enabled:
+            recorder.emit(
+                "swifi_arm",
+                component=component,
+                reg=reg,
+                bit=bit,
+                after_executions=after_executions,
+            )
         return self.pending
 
     def disarm(self) -> None:
@@ -112,4 +125,13 @@ class SwifiController:
         )
         self.pending = None
         self.delivered.append(injection)
+        self.last_delivery_clock = self.kernel.clock.now
         return injection
+
+    def consume_delivery_latency(self, now: int) -> Optional[int]:
+        """Cycles since the last unobserved delivery; one-shot."""
+        delivered_at = self.last_delivery_clock
+        if delivered_at is None:
+            return None
+        self.last_delivery_clock = None
+        return now - delivered_at

@@ -25,7 +25,9 @@ import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.swifi.campaign import RunSpec, execute_run
+from repro.observe import export as trace_export
+from repro.observe.metrics import canonical_metrics, merge_metrics
+from repro.swifi.campaign import RunSpec, execute_run, execute_run_traced
 from repro.swifi.classify import Outcome, OutcomeCounter
 
 #: Target chunks per worker: small enough to stream progress and balance
@@ -48,15 +50,24 @@ def chunk_seeds(seeds: Sequence[int], workers: int) -> List[List[int]]:
 
 
 def _execute_chunk(
-    spec: RunSpec, seeds: List[int]
-) -> List[Tuple[int, str]]:
+    spec: RunSpec, seeds: List[int], trace: bool = False
+) -> List[Tuple[int, str, Optional[dict]]]:
     """Worker entry point: execute one chunk of runs.
 
-    Returns ``(run_seed, outcome.value)`` pairs — strings, not enum
-    members, so results serialise cheaply across the process boundary
-    and into the journal.
+    Returns ``(run_seed, outcome.value, run_record_or_None)`` triples —
+    plain strings/dicts, not enum members, so results serialise cheaply
+    across the process boundary and into the journal.  With ``trace``
+    set, each run executes under the flight recorder and ships its event
+    journal + per-run metrics back to the parent, which merges and
+    exports them deterministically.
     """
-    return [(seed, execute_run(spec, seed).value) for seed in seeds]
+    if not trace:
+        return [(seed, execute_run(spec, seed).value, None) for seed in seeds]
+    results: List[Tuple[int, str, Optional[dict]]] = []
+    for seed in seeds:
+        outcome, record = execute_run_traced(spec, seed)
+        results.append((seed, outcome.value, record))
+    return results
 
 
 class CampaignJournal:
@@ -116,6 +127,7 @@ def run_campaign(
     workers: Optional[int] = None,
     journal: Optional[str] = None,
     progress=None,
+    trace: Optional[str] = None,
 ) -> OutcomeCounter:
     """Execute a campaign's runs and aggregate their outcomes.
 
@@ -125,21 +137,35 @@ def run_campaign(
     of completion order (and regardless of how many runs were replayed
     from the journal), so for a given seed schedule the resulting
     counter is bit-identical across worker counts and across resumes.
+
+    ``trace`` names a flight-recorder JSONL artifact to append to: each
+    run then executes with tracing on (workers serialize each run's
+    event journal + metrics back to the parent), and the parent writes
+    runs in seed-schedule order and merges per-run metrics in that same
+    order — so the exported file and the merged metrics are also
+    identical across worker counts.  Runs replayed from the journal were
+    not re-executed and contribute no events; the summary line counts
+    them.
     """
     if workers is None:
         workers = default_workers()
     book = CampaignJournal(journal) if journal else None
     outcomes: Dict[int, Outcome] = book.load(spec) if book else {}
+    replayed = {seed for seed in run_seeds if seed in outcomes}
     pending = [seed for seed in run_seeds if seed not in outcomes]
     total = len(run_seeds)
     completed = total - len(pending)
+    records: Dict[int, dict] = {}
+    tracing = trace is not None
 
-    def note(batch: List[Tuple[int, str]]) -> None:
+    def note(batch: List[Tuple[int, str, Optional[dict]]]) -> None:
         nonlocal completed
         if book is not None:
-            book.append(spec, batch)
-        for run_seed, value in batch:
+            book.append(spec, [(seed, value) for seed, value, __ in batch])
+        for run_seed, value, record in batch:
             outcomes[run_seed] = Outcome(value)
+            if record is not None:
+                records[run_seed] = record
             completed += 1
             if progress is not None:
                 progress(completed, total, outcomes[run_seed])
@@ -148,12 +174,13 @@ def run_campaign(
         # In-process serial path: same per-run function, same journal
         # protocol, no pool overhead.
         for seed in pending:
-            note([(seed, execute_run(spec, seed).value)])
+            note(_execute_chunk(spec, [seed], trace=tracing))
     else:
         chunks = chunk_seeds(pending, workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_execute_chunk, spec, chunk) for chunk in chunks
+                pool.submit(_execute_chunk, spec, chunk, tracing)
+                for chunk in chunks
             ]
             for future in as_completed(futures):
                 note(future.result())
@@ -161,4 +188,43 @@ def run_campaign(
     counter = OutcomeCounter()
     for seed in run_seeds:
         counter.add(outcomes[seed])
+    if tracing:
+        _export_trace(trace, spec, run_seeds, outcomes, records, replayed)
     return counter
+
+
+def _export_trace(
+    path: str,
+    spec: RunSpec,
+    run_seeds: Sequence[int],
+    outcomes: Dict[int, Outcome],
+    records: Dict[int, dict],
+    replayed,
+) -> None:
+    """Append this campaign's runs + summary to the trace artifact.
+
+    Everything is written parent-side in seed-schedule order, and the
+    metrics merge follows the same order, so the artifact is
+    byte-identical whether the runs executed serially or across a
+    process pool.
+    """
+    merged_metrics: Dict[str, object] = {}
+    with open(path, "a", encoding="utf-8") as handle:
+        for seed in run_seeds:
+            record = records.get(seed)
+            if record is None:
+                continue
+            trace_export.write_run(handle, record)
+            merge_metrics(merged_metrics, record["metrics"])
+        tally: Dict[str, int] = {}
+        for seed in run_seeds:
+            value = outcomes[seed].value
+            tally[value] = tally.get(value, 0) + 1
+        trace_export.write_summary(
+            handle,
+            fingerprint=spec.fingerprint(),
+            runs=len(run_seeds),
+            replayed=len(replayed),
+            outcomes=tally,
+            metrics=canonical_metrics(merged_metrics),
+        )

@@ -34,7 +34,18 @@ class RunHandle:
     iterations: int = 3
 
     def check(self) -> bool:
+        # A run that exhausted its step budget did not complete the
+        # workload, even if the partial results happen to look right —
+        # without this, a livelocked run is indistinguishable from a
+        # clean completion.
+        if self.budget_exhausted:
+            return False
         return self.workload.check(self.results, self.system, self.iterations)
+
+    @property
+    def budget_exhausted(self) -> bool:
+        kernel = getattr(self.system, "kernel", None)
+        return bool(kernel is not None and kernel.budget_exhausted)
 
 
 class Workload:

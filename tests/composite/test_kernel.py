@@ -320,3 +320,43 @@ class TestRunLoop:
         kernel.create_thread("t", prio=1, home="app0", body_factory=body)
         steps = kernel.run(max_steps=10)
         assert steps == 10
+
+    def test_budget_exhaustion_is_flagged(self):
+        # Regression: a run cut off by max_steps used to return exactly
+        # like a clean completion, hiding livelocks from callers.
+        kernel = make_kernel()
+
+        def body(system, thread):
+            while True:
+                yield Yield()
+
+        kernel.create_thread("t", prio=1, home="app0", body_factory=body)
+        assert kernel.run(max_steps=10) == 10
+        assert kernel.budget_exhausted
+        assert kernel.stats["budget_exhausted"] == 1
+
+    def test_clean_completion_is_not_flagged(self):
+        kernel = make_kernel()
+
+        def body(system, thread):
+            yield Invoke("echo", "echo", 1)
+
+        kernel.create_thread("t", prio=1, home="app0", body_factory=body)
+        kernel.run(max_steps=10_000)
+        assert not kernel.budget_exhausted
+        assert kernel.stats["budget_exhausted"] == 0
+
+    def test_finishing_exactly_at_budget_is_not_exhaustion(self):
+        # The flag means "budget hit with live work remaining", not
+        # "steps == max_steps": a workload that finishes on its very
+        # last permitted step completed cleanly.
+        def body(system, thread):
+            yield Invoke("echo", "echo", 1)
+
+        probe = make_kernel()
+        probe.create_thread("t", prio=1, home="app0", body_factory=body)
+        needed = probe.run(max_steps=10_000)
+        exact = make_kernel()
+        exact.create_thread("t", prio=1, home="app0", body_factory=body)
+        assert exact.run(max_steps=needed) == needed
+        assert not exact.budget_exhausted

@@ -64,6 +64,17 @@ class TestScrub:
         assert "storage" not in monitor.targets or True  # storage is a service
         assert "app0" not in monitor.targets
 
+    def test_explicit_empty_targets_monitors_nothing(self, system, thread):
+        # Regression: ``targets or [...]`` used to turn an explicit empty
+        # list into "monitor every service".
+        lock = system.service("lock")
+        lid = lock.lock_alloc(thread, "app0")
+        lock.image.corrupt_word(lock.record_for(lid).addr, 0xBAD)
+        monitor = LatentFaultMonitor(system.kernel, targets=[])
+        assert monitor.targets == []
+        assert monitor.scrub_all() == 0
+        assert system.booter.reboots == 0
+
     def test_scrub_charges_time(self, system, thread):
         lock = system.service("lock")
         for __ in range(5):

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.__main__ import main
 from repro.swifi.campaign import (
     CampaignRunner,
@@ -24,6 +26,18 @@ class TestDeterminism:
     def test_injection_point_is_pure(self):
         assert injection_point(7, 100) == injection_point(7, 100)
         assert injection_point(7, 1) == 0  # degenerate horizon
+
+    def test_empty_horizon_rejected(self):
+        # Regression: horizon<1 was silently masked to 1, injecting at
+        # trace execution 0 of a workload that never ran in the target.
+        with pytest.raises(ValueError):
+            injection_point(7, 0)
+        with pytest.raises(ValueError):
+            injection_point(7, -5)
+        with pytest.raises(ValueError):
+            RunSpec("lock", "superglue", 4, 0)
+        with pytest.raises(ValueError):
+            RunSpec("lock", "superglue", 4, -1)
 
     def test_run_outcome_is_pure_function_of_spec_and_seed(self):
         runner = CampaignRunner("lock", n_faults=1, seed=0)

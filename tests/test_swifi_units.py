@@ -1,7 +1,7 @@
 """Additional unit tests for the SWIFI helpers and analysis formatting."""
 
 from repro.swifi.campaign import CampaignResult, format_table2
-from repro.swifi.classify import Outcome, OutcomeCounter
+from repro.swifi.classify import MAX_DETAILS, Outcome, OutcomeCounter
 from repro.swifi.injector import FULL_MASK, PlannedInjection, SwifiController
 from repro.system import build_system
 
@@ -54,6 +54,18 @@ class TestResultRow:
         table = format_table2([result])
         assert "lock" in table
         assert counter.details == ["not_recovered_segfault: boom"]
+
+    def test_details_growth_is_capped(self):
+        # Regression: details grew one string per detailed outcome with
+        # no bound, so huge campaigns accumulated unbounded memory.
+        counter = OutcomeCounter()
+        for i in range(MAX_DETAILS + 25):
+            counter.add(Outcome.NOT_RECOVERED_OTHER, detail=f"run {i}")
+        assert len(counter.details) == MAX_DETAILS
+        assert counter.details_dropped == 25
+        # The statistics themselves are unaffected by the cap.
+        assert counter.injected == MAX_DETAILS + 25
+        assert counter.count(Outcome.NOT_RECOVERED_OTHER) == MAX_DETAILS + 25
 
 
 class TestAnalysisFormatting:

@@ -93,6 +93,15 @@ class TestWorkloads:
         system.run(max_steps=30_000)
         assert handle.results["rounds"] == 5
 
+    def test_budget_exhausted_run_fails_check(self):
+        # Regression: a run cut off by its step budget looked exactly
+        # like a completed one; check() must refuse to bless it.
+        system = build_system(ft_mode="superglue")
+        handle = workload_for("lock").install(system, iterations=3)
+        system.run(max_steps=3)  # nowhere near enough
+        assert handle.budget_exhausted
+        assert handle.check() is False
+
 
 class TestAnalysis:
     def test_loc_of_source(self):
