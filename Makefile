@@ -18,10 +18,14 @@ lint:
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s
 
-# Interpreter throughput + regression gate against the committed baseline.
+# Interpreter + campaign throughput, each gated against its committed
+# baseline (absolute rates with a wide tolerance plus a machine-
+# independent ratio floor).
 perf:
 	$(PY) benchmarks/bench_interp_throughput.py --json /tmp/interp_throughput.json
 	$(PY) scripts/check_interp_baseline.py /tmp/interp_throughput.json
+	$(PY) benchmarks/bench_campaign_throughput.py --json /tmp/campaign_throughput.json
+	$(PY) scripts/check_campaign_baseline.py /tmp/campaign_throughput.json
 
 # cProfile over a small campaign; SERVICE/FAULTS/SORT overridable.
 SERVICE ?= lock

@@ -59,9 +59,21 @@ def _cmd_table2(args) -> int:
         trace=args.trace,
     )
     print(format_table2(results))
+    setup_wall = sum(r.setup_wall for r in results)
+    exec_wall = sum(r.exec_wall for r in results)
+    total_runs = sum(r.injected for r in results)
+    if exec_wall > 0:
+        # stderr: the table on stdout stays deterministic (journal
+        # replays must reproduce it byte-for-byte); wall clock is
+        # host-dependent diagnostics.
+        print(
+            f"wall clock: setup {setup_wall:.2f}s + exec {exec_wall:.2f}s "
+            f"({total_runs / exec_wall:.0f} runs/s)",
+            file=sys.stderr,
+        )
     if args.json:
         write_table2_json(results, args.json)
-        print(f"wrote {args.json}")
+        print(f"wrote {args.json} (+ .timing.json sidecar)")
     if args.trace:
         print(
             f"wrote {args.trace} "

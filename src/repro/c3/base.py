@@ -47,6 +47,12 @@ class C3ClientStubBase:
             "redos": 0,
         }
 
+    def pool_restore(self) -> None:
+        self.descs = {}
+        self.seen_epoch = 0
+        for key in self.stats:
+            self.stats[key] = 0
+
     # -- kernel contract -----------------------------------------------------
     def invoke(self, kernel, thread, fn: str, args: Tuple):
         method = getattr(self, f"c3_{fn}", None)
@@ -147,6 +153,10 @@ class C3ServerStubBase:
         self.component = component
         self.storage_name = storage
         self.stats = {"einval_recoveries": 0, "replays": 0}
+
+    def pool_restore(self) -> None:
+        for key in self.stats:
+            self.stats[key] = 0
 
     def dispatch(self, kernel, thread, fn: str, args: Tuple):
         return self.component.dispatch(fn, thread, args)

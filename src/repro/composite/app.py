@@ -28,6 +28,15 @@ class AppComponent(Component):
         if not hasattr(self, "_handlers"):
             self._handlers = {}
 
+    def pool_seal(self) -> None:
+        self._sealed_handlers = dict(self._handlers)
+
+    def pool_restore(self) -> None:
+        # reinit preserves handlers (apps are never micro-rebooted), so a
+        # pooled restore reinstates the sealed registration set instead.
+        super().pool_restore()
+        self._handlers = dict(getattr(self, "_sealed_handlers", {}))
+
     def register_handler(self, fn: str, handler: Callable) -> None:
         """Expose ``handler`` as an upcall entry point named ``fn``."""
         self._handlers[fn] = handler

@@ -25,6 +25,9 @@ class Booter:
         #: (clock cycles, component name, fault kind) log of every reboot.
         self.reboot_log: List[Tuple[int, str, str]] = []
 
+    def pool_restore(self) -> None:
+        self.reboot_log = []
+
     def handle_fault(self, component, fault: SimulatedFault) -> None:
         """Micro-reboot ``component`` after a detected fail-stop fault."""
         recorder = self.kernel.recorder

@@ -90,6 +90,30 @@ class Component:
         self.reboot_epoch += 1
         return self.image.reboot_cost_cycles
 
+    # -- system-pool snapshot/restore ----------------------------------------
+    def pool_seal(self) -> None:
+        """Capture post-boot state a pooled restore must reinstate.
+
+        The base component needs nothing beyond the good image frozen at
+        attach time; subclasses whose ``reinit`` deliberately preserves
+        state across micro-reboots (storage, cbuf, apps) override this to
+        copy that state aside.
+        """
+
+    def pool_restore(self) -> None:
+        """Reset to the post-boot state, replaying :meth:`attach`'s path.
+
+        Unlike :meth:`micro_reboot`, the allocator rewinds to its
+        pre-init position so ``reinit`` re-allocates at exactly the
+        addresses a fresh build would — restored and fresh systems stay
+        structurally identical, which is what keeps pooled campaign runs
+        bit-identical to fresh-build runs.
+        """
+        self.image.restore_initial()
+        self.reinit()
+        self.reboot_epoch = 0
+        self.faults_detected = 0
+
     # -- interface dispatch ---------------------------------------------------
     @property
     def exports(self):

@@ -45,6 +45,7 @@ from repro.composite.machine import (
     TraceResult,
     WORD_MASK,
 )
+from repro.composite.memory import PAGE_SHIFT
 from repro.errors import (
     AssertionFault,
     CorruptionDetected,
@@ -55,6 +56,16 @@ from repro.errors import (
 #: Module-level gate, read from ``REPRO_FAST_INTERP`` at import.  Tests
 #: monkeypatch this attribute to force the slow path.
 FAST_INTERP_ENABLED = os.environ.get("REPRO_FAST_INTERP", "1") != "0"
+
+#: Clean executions a trace must prove before the fast path will pay
+#: ``builtins.compile`` for a *novel* op tuple (a program-cache miss,
+#: ~1.4 ms).  Attaching an already-compiled program is nearly free, so
+#: that happens on the second clean execution regardless.  Without the
+#: higher bar, long-tail traces whose op lists are unique per cache key
+#: (seed-dependent record values folded into the ops) each burn one
+#: throwaway compile the moment a pooled system re-hits them — slower
+#: than just interpreting them forever.
+NOVEL_COMPILE_RUNS = 8
 
 
 class FastProgram:
@@ -74,8 +85,10 @@ class FastProgram:
 
     def __init__(self, run, base: int, size: int, component_name: str,
                  n_ops: int, trace_len: int, source: str):
-        #: ``run(values, words) -> (ret_value, cycles)``; raises the
-        #: simulated-fault family exactly as the slow path would.
+        #: ``run(values, words, dirty) -> (ret_value, cycles)``; raises
+        #: the simulated-fault family exactly as the slow path would.
+        #: ``dirty`` is the image's dirty-page bitmap: every compiled
+        #: store marks its page, same as ``MemoryImage.write_word``.
         self.run = run
         self.base = base
         self.size = size
@@ -163,7 +176,7 @@ def compile_trace(trace: Trace, memory, component_name: str = "?") -> FastProgra
         return cached
     base = memory.base
     end = memory.base + memory.size
-    lines = ["def _compiled(v, w):"]
+    lines = ["def _compiled(v, w, d):"]
     emit = lines.append
     cycles = 0  # static cycle total, folded at compile time
     has_loop = False
@@ -184,7 +197,9 @@ def compile_trace(trace: Trace, memory, component_name: str = "?") -> FastProgra
         elif code == "st":
             emit(f"    x = (v[{op[2]}] + {op[3]}) & {WORD_MASK}")
             emit(f"    if not {base} <= x < {end}: _oob(x, {op[2]})")
-            emit(f"    w[x - {base}] = v[{op[1]}]")
+            emit(f"    x -= {base}")
+            emit(f"    w[x] = v[{op[1]}]")
+            emit(f"    d[x >> {PAGE_SHIFT}] = 1")
         elif code == "add":
             emit(f"    v[{op[1]}] = (v[{op[1]}] + v[{op[2]}]) & {WORD_MASK}")
         elif code == "addi":
@@ -211,7 +226,9 @@ def compile_trace(trace: Trace, memory, component_name: str = "?") -> FastProgra
             emit(f"    x = (v[{ESP}] - 1) & {WORD_MASK}")
             emit(f"    v[{ESP}] = x")
             emit(f"    if not {base} <= x < {end}: _oob(x, {ESP})")
-            emit(f"    w[x - {base}] = v[{op[1]}]")
+            emit(f"    x -= {base}")
+            emit(f"    w[x] = v[{op[1]}]")
+            emit(f"    d[x >> {PAGE_SHIFT}] = 1")
         elif code == "pop":
             emit(f"    x = v[{ESP}]")
             emit(f"    if not {base} <= x < {end}: _oob(x, {ESP})")
@@ -274,13 +291,27 @@ def try_execute_fast(
         or program.trace_len != len(trace.ops)
         or program.component_name != component_name
     ):
-        if trace._clean_runs == 0:
+        runs = trace._clean_runs
+        if runs == 0:
             # Warm-up: compiling costs far more than one interpreted run,
             # so a trace must prove it is re-executed (cache-hit service
             # traces, reused tracking traces) before it is compiled.
             # One-shot traces take the slow path forever.
             trace._clean_runs = 1
             return None
+        if runs < NOVEL_COMPILE_RUNS:
+            # Re-executed, but not yet hot enough to justify compiling
+            # from scratch.  If an identical op tuple was already
+            # compiled elsewhere (fresh campaign systems rebuild the
+            # same traces every run), attach it — that is a dict lookup,
+            # not a compile.  Otherwise keep interpreting until the
+            # trace earns a novel compile.
+            cached = _PROGRAM_CACHE.get(
+                (component_name, memory.base, memory.size, tuple(trace.ops))
+            )
+            if cached is None:
+                trace._clean_runs = runs + 1
+                return None
         program = compile_trace(trace, memory, component_name)
         trace._compiled = program
         if recorder is not None:
@@ -290,5 +321,5 @@ def try_execute_fast(
                 label=trace.label,
                 ops=program.n_ops,
             )
-    value, cycles = program.run(regs.values, memory.words)
+    value, cycles = program.run(regs.values, memory.words, memory._dirty)
     return TraceResult(value, False, cycles, 0)

@@ -97,6 +97,37 @@ class Kernel:
         self.last_run_exhausted = False
         #: Hooks observing every fault vectoring: f(component, fault).
         self.fault_observers: List[Callable] = []
+        self._sealed_fault_observers: Optional[List[Callable]] = None
+
+    # ------------------------------------------------------------------
+    # System-pool snapshot/restore (see repro.system.SystemSnapshot)
+    # ------------------------------------------------------------------
+    def pool_seal(self) -> None:
+        """Capture post-boot kernel state a pooled restore reinstates."""
+        self._sealed_fault_observers = list(self.fault_observers)
+
+    def pool_restore(self) -> None:
+        """Reset every per-run kernel structure to its post-boot state.
+
+        Static wiring — components, capabilities, stubs, the booter and
+        recovery-manager references — is left alone; components restore
+        their own images and state via ``Component.pool_restore``.
+        """
+        self.clock.reset()
+        self.recorder = recorder_for(self.clock)
+        self.run_queue.reset()
+        self.threads.clear()
+        self._next_tid = 1
+        self.crashed = None
+        self.current = None
+        self.swifi = None
+        self.last_run_exhausted = False
+        for key in self.stats:
+            self.stats[key] = 0
+        if self._sealed_fault_observers is not None:
+            self.fault_observers = list(self._sealed_fault_observers)
+        else:
+            self.fault_observers.clear()
 
     # ------------------------------------------------------------------
     # Registration
@@ -137,6 +168,12 @@ class Kernel:
 
     def all_stubs_for_server(self, server: str) -> List[object]:
         return [s for (c, sv), s in self._stubs.items() if sv == server]
+
+    def all_client_stubs(self) -> Dict[Tuple[str, str], object]:
+        return dict(self._stubs)
+
+    def all_server_stubs(self) -> Dict[str, object]:
+        return dict(self._server_stubs)
 
     def create_thread(self, name: str, prio: int, home: str, body_factory) -> SimThread:
         thread = SimThread(self._next_tid, name, prio, home, body_factory)

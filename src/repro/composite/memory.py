@@ -30,6 +30,17 @@ DEFAULT_IMAGE_WORDS = 1 << 14
 #: Words reserved at the top of each image for the execution stack.
 STACK_WORDS = 1 << 10
 
+#: Dirty-tracking page size: 2**PAGE_SHIFT words per page.  Coarse on
+#: purpose — the tracking cost is one bytearray store per write (cheap
+#: enough for the compiled fast path), and a SWIFI run touches a handful
+#: of record pages plus the stack page, so restores copy a few pages
+#: instead of the whole image.
+PAGE_SHIFT = 8
+PAGE_WORDS = 1 << PAGE_SHIFT
+
+#: First heap word: the low words are reserved as a component header.
+INITIAL_ALLOC_PTR = 16
+
 
 class MemoryImage:
     """A component's private, bounds-checked flat memory.
@@ -52,7 +63,12 @@ class MemoryImage:
         # interpreter is only eligible while the image is taint-free.
         self._taint: bytearray = bytearray(size)
         self._taint_count = 0
-        self._alloc_ptr = 16  # first words reserved (component header)
+        #: Coarse dirty-page bitmap: one byte per PAGE_WORDS-word page,
+        #: set by every write.  Taint is only ever introduced through a
+        #: write, so tainted words always lie on dirty pages — restoring
+        #: the dirty pages provably clears all taint.
+        self._dirty: bytearray = bytearray((size + PAGE_WORDS - 1) >> PAGE_SHIFT)
+        self._alloc_ptr = INITIAL_ALLOC_PTR  # low words reserved (header)
         self._good_words: Optional[array] = None
         self._good_alloc_ptr: Optional[int] = None
         self._free_lists: Dict[int, List[int]] = {}
@@ -82,6 +98,7 @@ class MemoryImage:
     def write_word(self, addr: int, value: int, tainted: bool = False) -> None:
         index = addr - self.base
         self.words[index] = value & WORD_MASK
+        self._dirty[index >> PAGE_SHIFT] = 1
         taint = self._taint
         if tainted:
             if not taint[index]:
@@ -113,8 +130,21 @@ class MemoryImage:
         return addr
 
     def free(self, addr: int, nwords: int) -> None:
-        for off in range(nwords):
-            self.write_word(addr + off, 0)
+        """Zero a freed block and recycle it onto the size's free list.
+
+        Zeroing goes through slice assignment (not a per-word
+        ``write_word`` loop): one memset-style store for the words, one
+        for the taint bits, keeping the taint census exact.
+        """
+        start = addr - self.base
+        end = start + nwords
+        self.words[start:end] = array("I", bytes(4 * nwords))
+        tainted = self._taint.count(1, start, end)
+        if tainted:
+            self._taint[start:end] = bytes(nwords)
+            self._taint_count -= tainted
+        for page in range(start >> PAGE_SHIFT, ((end - 1) >> PAGE_SHIFT) + 1):
+            self._dirty[page] = 1
         self._free_lists.setdefault(nwords, []).append(addr)
 
     def alloc_record(self, magic: int, nfields: int) -> int:
@@ -123,21 +153,77 @@ class MemoryImage:
         self.write_word(addr, magic)
         return addr
 
+    # -- dirty tracking --------------------------------------------------------
+    @property
+    def dirty_page_count(self) -> int:
+        """Number of pages written since the last freeze/restore."""
+        return self._dirty.count(1)
+
+    def is_page_dirty(self, index: int) -> bool:
+        """Has the page holding word ``index`` been written?"""
+        return self._dirty[index >> PAGE_SHIFT] != 0
+
+    def _copy_back_dirty_pages(self) -> int:
+        """Copy dirty pages back from the good image; returns the count.
+
+        Taint is cleared alongside: tainted words can only exist on dirty
+        pages (taint is introduced exclusively through writes), so
+        zeroing the taint slice of each restored page clears all of it.
+        """
+        if self._good_words is None:
+            raise ReproError("no good image frozen; cannot restore")
+        dirty = self._dirty
+        words = self.words
+        good = self._good_words
+        taint = self._taint
+        size = self.size
+        restored = 0
+        for page in range(len(dirty)):
+            if dirty[page]:
+                lo = page << PAGE_SHIFT
+                hi = min(lo + PAGE_WORDS, size)
+                words[lo:hi] = good[lo:hi]
+                taint[lo:hi] = bytes(hi - lo)
+                dirty[page] = 0
+                restored += 1
+        self._taint_count = 0
+        return restored
+
     # -- micro-reboot support -------------------------------------------------
     def freeze_good_image(self) -> None:
         """Snapshot the post-initialisation state as the reboot image."""
         self._good_words = self.words[:]
         self._good_alloc_ptr = self._alloc_ptr
+        # The image now *is* the good image: every page is clean, so the
+        # next restore copies only what gets written from here on.
+        self._dirty[:] = bytes(len(self._dirty))
+
+    def restore(self) -> int:
+        """Reset to the good image in O(dirty pages); returns pages copied.
+
+        Wall-clock cost is proportional to what was written since the
+        last freeze/restore, not to image size.  The *virtual* cost of a
+        micro-reboot (:attr:`reboot_cost_cycles`) is unchanged: the
+        modelled hardware still memcpys the whole image.
+        """
+        restored = self._copy_back_dirty_pages()
+        self._alloc_ptr = self._good_alloc_ptr
+        self._free_lists.clear()
+        return restored
+
+    def restore_initial(self) -> int:
+        """Pool reset: like :meth:`restore`, but rewind the allocator to
+        its pre-initialisation position so a replayed ``reinit()``
+        allocates at exactly the addresses a fresh build would.
+        """
+        restored = self._copy_back_dirty_pages()
+        self._alloc_ptr = INITIAL_ALLOC_PTR
+        self._free_lists.clear()
+        return restored
 
     def micro_reboot(self) -> None:
-        """memcpy the good image back over this component's memory."""
-        if self._good_words is None:
-            raise ReproError("no good image frozen; cannot micro-reboot")
-        self.words[:] = self._good_words
-        self._alloc_ptr = self._good_alloc_ptr
-        self._taint[:] = bytes(self.size)
-        self._taint_count = 0
-        self._free_lists.clear()
+        """Restore the good image over this component's memory."""
+        self.restore()
 
     @property
     def reboot_cost_cycles(self) -> int:

@@ -38,6 +38,12 @@ class VirtualClock:
         self._timers: List[Tuple[int, int, Callable[[], None]]] = []
         self._counter = itertools.count()
 
+    def reset(self) -> None:
+        """Rewind to cycle 0 with no timers pending (system-pool reuse)."""
+        self.now = 0
+        self._timers.clear()
+        self._counter = itertools.count()
+
     def advance(self, cycles: int) -> None:
         if cycles < 0:
             raise ValueError("cannot advance the clock backwards")
@@ -74,6 +80,11 @@ class RunQueue:
     def __init__(self):
         self._threads: List[SimThread] = []
         self._rr: int = 0  # round-robin tiebreak counter
+
+    def reset(self) -> None:
+        """Drop every thread and the round-robin state (system-pool reuse)."""
+        self._threads.clear()
+        self._rr = 0
 
     def add(self, thread: SimThread) -> None:
         self._threads.append(thread)

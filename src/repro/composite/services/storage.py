@@ -32,6 +32,16 @@ class StorageService(Component):
         if not hasattr(self, "_data") or self._data is None:
             self._data = {}
 
+    def pool_seal(self) -> None:
+        self._sealed_data = dict(self._data)
+
+    def pool_restore(self) -> None:
+        # reinit preserves contents across micro-reboots by design; a
+        # pooled restore must instead drop everything the previous run
+        # stored and reinstate the sealed post-boot contents.
+        super().pool_restore()
+        self._data = dict(getattr(self, "_sealed_data", {}))
+
     # ------------------------------------------------------------------
     @export
     def store_put(self, thread, ns, key, value) -> int:

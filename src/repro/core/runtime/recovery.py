@@ -49,6 +49,12 @@ class RecoveryManager:
     def register_interface(self, ir: InterfaceIR) -> None:
         self.interfaces[ir.name] = ir
 
+    def pool_restore(self) -> None:
+        # Registered interfaces are build-time wiring and survive; only
+        # the per-run measurement state is dropped.
+        self.recovery_samples = {}
+        self.reboot_events = []
+
     # ------------------------------------------------------------------
     def on_micro_reboot(self, component, fault) -> None:
         """Booter hand-off after steps 2-4 completed."""

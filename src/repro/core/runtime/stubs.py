@@ -100,6 +100,19 @@ class ClientStubRuntime:
             "redos": 0,
         }
 
+    def pool_restore(self) -> None:
+        """Reset per-run tracking state for a pooled system restore.
+
+        ``_track_traces`` is deliberately kept: its keys capture every
+        trace-determining input (label, record address, epoch, store
+        count), and pooled runs replay allocations at identical
+        addresses, so reuse changes wall-clock only — never op lists.
+        """
+        self.table = TrackingTable()
+        self.seen_epoch = 0
+        for key in self.stats:
+            self.stats[key] = 0
+
     # ------------------------------------------------------------------
     # Entry point from the kernel
     # ------------------------------------------------------------------
@@ -448,6 +461,10 @@ class ServerStubRuntime:
         self.component = component
         self.storage_name = storage
         self.stats = {"einval_recoveries": 0, "replays": 0}
+
+    def pool_restore(self) -> None:
+        for key in self.stats:
+            self.stats[key] = 0
 
     # The kernel calls this instead of component.dispatch.
     def dispatch(self, kernel, thread, fn: str, args: Tuple):

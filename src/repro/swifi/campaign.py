@@ -21,13 +21,15 @@ from __future__ import annotations
 
 import json
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import SimulatedFault, SystemHang
+from repro.observe import tracing_enabled
 from repro.swifi.classify import Outcome, OutcomeCounter
 from repro.swifi.injector import SwifiController
-from repro.system import build_system
+from repro.system import GLOBAL_POOL, build_system, pooling_enabled
 from repro.workloads import workload_for
 
 #: Default iterations of the micro-workload per injection run: enough for
@@ -142,9 +144,27 @@ def execute_run_traced(spec: RunSpec, run_seed: int):
     return outcome, record
 
 
+def _campaign_system(ft_mode: str, recovery_mode: str):
+    """A system for one campaign run: pooled by default, fresh otherwise.
+
+    Pooling reuses a per-process sealed system, dirty-restoring it to
+    its post-boot state between runs — outcomes are bit-identical
+    because a restored system is structurally indistinguishable from a
+    fresh build (``REPRO_POOL_DEBUG=1`` verifies that per restore).
+    Traced runs always build fresh: warm trace caches shift cache-hit
+    counters that the flight recorder folds into per-run metrics, and
+    trace artifacts must stay byte-identical serial vs parallel.
+    """
+    if pooling_enabled() and not tracing_enabled():
+        return GLOBAL_POOL.acquire(
+            ft_mode=ft_mode, recovery_mode=recovery_mode
+        )
+    return build_system(ft_mode=ft_mode, recovery_mode=recovery_mode)
+
+
 def _drive_run(spec: RunSpec, run_seed: int):
-    """Boot a fresh system, inject per the spec, run it to an end state."""
-    system = build_system(ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode)
+    """Boot (or pool-restore) a system, inject per the spec, run it."""
+    system = _campaign_system(spec.ft_mode, spec.recovery_mode)
     swifi = SwifiController(system.kernel, seed=run_seed)
     workload = workload_for(spec.service)
     handle = workload.install(system, iterations=spec.iterations)
@@ -203,6 +223,12 @@ class CampaignResult:
     counter: OutcomeCounter
     seed: int
     ft_mode: str
+    #: Wall-clock split: calibration + spec construction vs run
+    #: execution.  Deliberately *not* part of :meth:`row` — the Table II
+    #: artifact must stay bit-identical across machines and pooling
+    #: modes; timings go to the ``.timing.json`` sidecar instead.
+    setup_wall: float = 0.0
+    exec_wall: float = 0.0
 
     @property
     def injected(self) -> int:
@@ -253,9 +279,7 @@ class CampaignRunner:
         random instant of the workload's execution in the target.  Runs
         once per campaign; workers receive the result via the RunSpec.
         """
-        system = build_system(
-            ft_mode=self.ft_mode, recovery_mode=self.recovery_mode
-        )
+        system = _campaign_system(self.ft_mode, self.recovery_mode)
         swifi = SwifiController(system.kernel, seed=0)
         handle = self.workload.install(system, iterations=self.iterations)
         system.run(max_steps=MAX_STEPS)
@@ -310,19 +334,26 @@ class CampaignRunner:
         """
         from repro.swifi.parallel import run_campaign
 
+        setup_start = time.perf_counter()
+        spec = self.spec()
+        seeds = self.run_seeds()
+        exec_start = time.perf_counter()
         counter = run_campaign(
-            self.spec(),
-            self.run_seeds(),
+            spec,
+            seeds,
             workers=workers,
             journal=journal,
             progress=progress,
             trace=trace,
         )
+        exec_end = time.perf_counter()
         return CampaignResult(
             service=self.service,
             counter=counter,
             seed=self.seed,
             ft_mode=self.ft_mode,
+            setup_wall=exec_start - setup_start,
+            exec_wall=exec_end - exec_start,
         )
 
 
@@ -378,8 +409,23 @@ def write_table2_json(results: List[CampaignResult], path: str) -> None:
     """Emit the machine-readable Table II artifact: one dict per row.
 
     This is the format the nightly campaign workflow uploads and checks
-    against ``benchmarks/baselines/table2_smoke.json``.
+    against ``benchmarks/baselines/table2_smoke.json``.  Wall-clock
+    timings are machine-dependent, so they go to a ``.timing.json``
+    sidecar — the main artifact stays bit-identical across machines,
+    worker counts, and pooling modes.
     """
     with open(path, "w", encoding="utf-8") as handle:
         json.dump([result.row() for result in results], handle, indent=2)
+        handle.write("\n")
+    timing = [
+        {
+            "component": result.service,
+            "injected": result.injected,
+            "setup_wall": result.setup_wall,
+            "exec_wall": result.exec_wall,
+        }
+        for result in results
+    ]
+    with open(path + ".timing.json", "w", encoding="utf-8") as handle:
+        json.dump(timing, handle, indent=2)
         handle.write("\n")

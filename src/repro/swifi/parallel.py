@@ -29,6 +29,7 @@ from repro.observe import export as trace_export
 from repro.observe.metrics import canonical_metrics, merge_metrics
 from repro.swifi.campaign import RunSpec, execute_run, execute_run_traced
 from repro.swifi.classify import Outcome, OutcomeCounter
+from repro.system import GLOBAL_POOL, compile_all_interfaces, pooling_enabled
 
 #: Target chunks per worker: small enough to stream progress and balance
 #: load, large enough to amortise task-submission overhead.
@@ -47,6 +48,24 @@ def chunk_seeds(seeds: Sequence[int], workers: int) -> List[List[int]]:
     n_chunks = max(1, min(len(seeds), workers * CHUNKS_PER_WORKER))
     size = -(-len(seeds) // n_chunks)  # ceil division
     return [list(seeds[i:i + size]) for i in range(0, len(seeds), size)]
+
+
+def _init_campaign_worker(spec: RunSpec) -> None:
+    """Process-pool initializer: pay all per-process setup costs once.
+
+    Without this, every worker lazily recompiled the six IDL interfaces
+    on its first run (the ``compile_all_interfaces`` cache is
+    per-process and starts cold) and built a system per run.  Here each
+    worker compiles once and — when pooling is enabled — boots and seals
+    its pooled system before the first chunk arrives, so chunk wall
+    times measure injection runs, not setup.
+    """
+    if spec.ft_mode == "superglue":
+        compile_all_interfaces()
+    if pooling_enabled():
+        GLOBAL_POOL.acquire(
+            ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode
+        )
 
 
 def _execute_chunk(
@@ -177,7 +196,11 @@ def run_campaign(
             note(_execute_chunk(spec, [seed], trace=tracing))
     else:
         chunks = chunk_seeds(pending, workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_campaign_worker,
+            initargs=(spec,),
+        ) as pool:
             futures = [
                 pool.submit(_execute_chunk, spec, chunk, tracing)
                 for chunk in chunks

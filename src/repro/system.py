@@ -15,8 +15,10 @@ This is the main entry point of the library::
 
 from __future__ import annotations
 
+import os
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.composite.app import AppComponent
 from repro.composite.booter import Booter
@@ -33,7 +35,7 @@ from repro.composite.services import (
 )
 from repro.core.compiler import CompiledInterface, SuperGlueCompiler
 from repro.core.runtime.recovery import RecoveryManager
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.idl_specs import SERVICES, load_all
 
 #: Default application (client) components hosting workload threads.
@@ -147,3 +149,229 @@ def build_system(
                 kernel.register_stub(app, name, stub)
                 system.client_stubs[(app, name)] = stub
     return system
+
+
+# ---------------------------------------------------------------------------
+# System pooling: boot once, dirty-restore per run
+# ---------------------------------------------------------------------------
+
+def pooling_enabled() -> bool:
+    """Is system pooling on?  ``REPRO_SYSTEM_POOL=0`` disables it."""
+    return os.environ.get("REPRO_SYSTEM_POOL", "1") != "0"
+
+
+#: Attributes excluded from structural fingerprints.  Back-references
+#: (kernel, component, booter, ...) would recurse; images are
+#: fingerprinted separately via their CRC; the trace caches
+#: (``_trace_cache``, ``_track_traces``) and compiled interface IRs are
+#: deliberately *kept warm* across pooled runs — their keys capture every
+#: trace-determining input, so reuse changes wall-clock only.
+_FINGERPRINT_SKIP = frozenset(
+    {
+        "kernel",
+        "image",
+        "component",
+        "booter",
+        "recovery_manager",
+        "recorder",
+        "swifi",
+        "clock",
+        "run_queue",
+        "interfaces",
+        "ir",
+        "_exports",
+        "_trace_cache",
+        "_track_traces",
+    }
+)
+
+_FINGERPRINT_MAX_DEPTH = 8
+
+
+def _flatten(obj, path: str, out: Dict[str, object], depth: int = 0) -> None:
+    """Flatten ``obj`` into ``out`` as deterministic path -> value pairs."""
+    if depth > _FINGERPRINT_MAX_DEPTH:
+        out[path] = f"<depth:{type(obj).__name__}>"
+        return
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        out[path] = obj
+    elif isinstance(obj, (bytes, bytearray)):
+        out[path] = f"bytes:{len(obj)}:{zlib.crc32(bytes(obj)):08x}"
+    elif callable(obj):
+        out[path] = f"<fn:{getattr(obj, '__qualname__', repr(obj))}>"
+    elif isinstance(obj, dict):
+        out[f"{path}#len"] = len(obj)
+        for key in sorted(obj, key=repr):
+            _flatten(obj[key], f"{path}[{key!r}]", out, depth + 1)
+    elif isinstance(obj, (list, tuple)):
+        out[f"{path}#len"] = len(obj)
+        for index, item in enumerate(obj):
+            _flatten(item, f"{path}[{index}]", out, depth + 1)
+    elif isinstance(obj, (set, frozenset)):
+        _flatten(sorted(obj, key=repr), path, out, depth)
+    else:
+        attrs: Dict[str, object] = {}
+        for slot in getattr(type(obj), "__slots__", ()):
+            if hasattr(obj, slot):
+                attrs[slot] = getattr(obj, slot)
+        attrs.update(getattr(obj, "__dict__", {}))
+        if not attrs:
+            out[path] = f"<{type(obj).__name__}>"
+            return
+        out[f"{path}#type"] = type(obj).__name__
+        for name in sorted(attrs):
+            if name in _FINGERPRINT_SKIP or name.startswith("_sealed"):
+                continue
+            _flatten(attrs[name], f"{path}.{name}", out, depth + 1)
+
+
+def system_fingerprint(system: System) -> Dict[str, object]:
+    """A structural fingerprint of everything a run can mutate.
+
+    Used by the pool's debug mode to prove a restored system is
+    indistinguishable from a fresh build: two systems with equal
+    fingerprints have identical images (CRC + allocator position),
+    kernel counters, component state, stub tracking tables, and
+    recovery/booter logs.
+    """
+    out: Dict[str, object] = {}
+    kernel = system.kernel
+    out["ft_mode"] = kernel.ft_mode
+    out["clock.now"] = kernel.clock.now
+    out["next_tid"] = kernel._next_tid
+    out["crashed"] = repr(kernel.crashed)
+    out["threads#len"] = len(kernel.threads)
+    out["components"] = ",".join(kernel.components)
+    _flatten(dict(kernel.stats), "kernel.stats", out)
+    for name, component in kernel.components.items():
+        image = component.image
+        out[f"{name}.image.crc32"] = zlib.crc32(image.words.tobytes())
+        out[f"{name}.image.alloc_ptr"] = image._alloc_ptr
+        out[f"{name}.image.taint"] = image.taint_count
+        _flatten(component, name, out)
+    for (client, server), stub in sorted(kernel.all_client_stubs().items()):
+        _flatten(stub, f"stub[{client}->{server}]", out)
+    for server, stub in sorted(kernel.all_server_stubs().items()):
+        _flatten(stub, f"server_stub[{server}]", out)
+    _flatten(system.booter.reboot_log, "booter.reboot_log", out)
+    if system.recovery_manager is not None:
+        _flatten(
+            system.recovery_manager.recovery_samples,
+            "recovery.samples", out,
+        )
+        _flatten(
+            system.recovery_manager.reboot_events, "recovery.reboots", out
+        )
+    return out
+
+
+class SystemSnapshot:
+    """Seal a freshly built system; restore it to post-boot state cheaply.
+
+    Sealing copies aside the state that ``reinit`` deliberately preserves
+    (storage contents, cbufs, app handlers, fault observers); restoring
+    resets every per-run structure — kernel clock/queues/threads/stats,
+    component images (dirty pages only) and records, stub tracking
+    tables, recovery samples, the booter log — leaving the restored
+    system structurally identical to a fresh :func:`build_system`.
+    """
+
+    def __init__(self, system: System):
+        self.system = system
+        self.params: Tuple[str, tuple, str] = (
+            system.ft_mode,
+            tuple(system.apps),
+            system.recovery_manager.mode
+            if system.recovery_manager is not None
+            else "ondemand",
+        )
+        self.restores = 0
+        kernel = system.kernel
+        kernel.pool_seal()
+        for component in kernel.components.values():
+            component.pool_seal()
+
+    def restore(self) -> System:
+        system = self.system
+        kernel = system.kernel
+        kernel.pool_restore()
+        for component in kernel.components.values():
+            component.pool_restore()
+        for stub in kernel.all_client_stubs().values():
+            if hasattr(stub, "pool_restore"):
+                stub.pool_restore()
+        for stub in kernel.all_server_stubs().values():
+            if hasattr(stub, "pool_restore"):
+                stub.pool_restore()
+        system.booter.pool_restore()
+        if system.recovery_manager is not None:
+            system.recovery_manager.pool_restore()
+        self.restores += 1
+        return system
+
+    def diff_against_fresh(self) -> List[str]:
+        """Structural differences between this system and a fresh build."""
+        ft_mode, apps, recovery_mode = self.params
+        fresh = build_system(ft_mode, apps=apps, recovery_mode=recovery_mode)
+        pooled = system_fingerprint(self.system)
+        reference = system_fingerprint(fresh)
+        diffs = []
+        for key in sorted(set(pooled) | set(reference)):
+            mine = pooled.get(key, "<absent>")
+            theirs = reference.get(key, "<absent>")
+            if mine != theirs:
+                diffs.append(f"{key}: pooled={mine!r} fresh={theirs!r}")
+        return diffs
+
+
+def system_snapshot(system: System) -> SystemSnapshot:
+    """Seal ``system``'s current (post-boot) state for later restores."""
+    return SystemSnapshot(system)
+
+
+class SystemPool:
+    """Per-process pool of sealed systems, keyed by build parameters.
+
+    ``acquire`` builds (and seals) on first use, then dirty-restores on
+    every subsequent call.  With ``REPRO_POOL_DEBUG=1`` each restore is
+    verified against a fresh build via :func:`system_fingerprint` — any
+    structural divergence raises.
+    """
+
+    def __init__(self):
+        self._snapshots: Dict[tuple, SystemSnapshot] = {}
+        self.stats = {"builds": 0, "restores": 0}
+
+    def acquire(
+        self,
+        ft_mode: str = "superglue",
+        apps=DEFAULT_APPS,
+        recovery_mode: str = "ondemand",
+    ) -> System:
+        key = (ft_mode, tuple(apps), recovery_mode)
+        snapshot = self._snapshots.get(key)
+        if snapshot is None:
+            system = build_system(
+                ft_mode, apps=apps, recovery_mode=recovery_mode
+            )
+            self._snapshots[key] = SystemSnapshot(system)
+            self.stats["builds"] += 1
+            return system
+        system = snapshot.restore()
+        self.stats["restores"] += 1
+        if os.environ.get("REPRO_POOL_DEBUG") == "1":
+            diffs = snapshot.diff_against_fresh()
+            if diffs:
+                detail = "; ".join(diffs[:10])
+                raise ReproError(
+                    f"pooled system diverged from fresh build "
+                    f"({len(diffs)} differences): {detail}"
+                )
+        return system
+
+    def clear(self) -> None:
+        self._snapshots.clear()
+
+
+#: Process-wide pool used by the SWIFI campaign driver and workers.
+GLOBAL_POOL = SystemPool()

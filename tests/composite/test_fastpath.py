@@ -165,7 +165,7 @@ def run_slow(trace: Trace):
 def run_fast(trace: Trace):
     image = fresh_image()
     regs = fresh_regs(image, trace.entry_regs)
-    trace._clean_runs = 1  # past the warm-up threshold: compile now
+    trace._clean_runs = fastpath.NOVEL_COMPILE_RUNS  # past warm-up: compile now
     trace._compiled = None
     try:
         result = try_execute_fast(trace, regs, image, "diff")
@@ -214,7 +214,7 @@ class TestDifferentialRandomTraces:
                 image = fresh_image()
                 regs = fresh_regs(image, trace.entry_regs)
                 if precompile:
-                    trace._clean_runs = 1
+                    trace._clean_runs = fastpath.NOVEL_COMPILE_RUNS
                     trace._compiled = None
                     compile_trace(trace, image, "diff")
                 try:
@@ -239,21 +239,39 @@ class TestEligibility:
         trace.li(EAX, 7).add(EAX, EBX).ret(EAX)
         return trace
 
-    def test_warmup_first_clean_run_declines(self):
+    def test_warmup_novel_tuple_defers_compile(self, monkeypatch):
+        # No pre-compiled program anywhere: the trace must earn a novel
+        # compile with NOVEL_COMPILE_RUNS clean executions.
+        monkeypatch.setattr(fastpath, "_PROGRAM_CACHE", {})
         image = fresh_image()
         trace = self._simple_trace()
         regs = fresh_regs(image, trace.entry_regs)
-        assert try_execute_fast(trace, regs, image, "t") is None
-        assert trace._compiled is None
+        for __ in range(fastpath.NOVEL_COMPILE_RUNS):
+            assert try_execute_fast(trace, regs, image, "t") is None
+            assert trace._compiled is None
         result = try_execute_fast(trace, regs, image, "t")
         assert result is not None and result.value == 12
         assert trace._compiled is not None
+
+    def test_warmup_cached_tuple_attaches_on_second_run(self, monkeypatch):
+        # An identical op tuple already in the program cache attaches on
+        # the second clean execution — a dict lookup, not a compile.
+        monkeypatch.setattr(fastpath, "_PROGRAM_CACHE", {})
+        image = fresh_image()
+        donor = self._simple_trace()
+        program = compile_trace(donor, image, "t")
+        trace = self._simple_trace()
+        regs = fresh_regs(image, trace.entry_regs)
+        assert try_execute_fast(trace, regs, image, "t") is None
+        result = try_execute_fast(trace, regs, image, "t")
+        assert result is not None and result.value == 12
+        assert trace._compiled is program
 
     def test_disabled_flag_declines(self, monkeypatch):
         monkeypatch.setattr(fastpath, "FAST_INTERP_ENABLED", False)
         image = fresh_image()
         trace = self._simple_trace()
-        trace._clean_runs = 1
+        trace._clean_runs = fastpath.NOVEL_COMPILE_RUNS
         assert try_execute_fast(
             trace, fresh_regs(image, trace.entry_regs), image, "t"
         ) is None
@@ -261,7 +279,7 @@ class TestEligibility:
     def test_tainted_register_declines(self):
         image = fresh_image()
         trace = self._simple_trace()
-        trace._clean_runs = 1
+        trace._clean_runs = fastpath.NOVEL_COMPILE_RUNS
         regs = fresh_regs(image, trace.entry_regs)
         regs.flip_bit(ECX, 3)
         assert try_execute_fast(trace, regs, image, "t") is None
@@ -269,7 +287,7 @@ class TestEligibility:
     def test_tainted_memory_declines(self):
         image = fresh_image()
         trace = self._simple_trace()
-        trace._clean_runs = 1
+        trace._clean_runs = fastpath.NOVEL_COMPILE_RUNS
         image.write_word(image.base + 2, 0xBAD, tainted=True)
         assert image.taint_count == 1
         assert try_execute_fast(
@@ -289,7 +307,7 @@ class TestCompiledProgramLifecycle:
         image = fresh_image()
         trace = Trace("cached")
         trace.li(EAX, 1).ret(EAX)
-        trace._clean_runs = 1
+        trace._clean_runs = fastpath.NOVEL_COMPILE_RUNS
         regs = fresh_regs(image, {})
         try_execute_fast(trace, regs, image, "t")
         program = trace._compiled
@@ -301,7 +319,7 @@ class TestCompiledProgramLifecycle:
         image = fresh_image()
         trace = Trace("grow")
         trace.li(EAX, 1).ret(EAX)
-        trace._clean_runs = 1
+        trace._clean_runs = fastpath.NOVEL_COMPILE_RUNS
         regs = fresh_regs(image, {})
         assert try_execute_fast(trace, regs, image, "t").value == 1
         stale = trace._compiled
@@ -315,7 +333,7 @@ class TestCompiledProgramLifecycle:
         image_b = MemoryImage(BASE + 0x1000, WORDS)
         trace = Trace("move")
         trace.li(EAX, 3).ret(EAX)
-        trace._clean_runs = 1
+        trace._clean_runs = fastpath.NOVEL_COMPILE_RUNS
         try_execute_fast(trace, fresh_regs(image_a, {}), image_a, "t")
         in_a = trace._compiled
         try_execute_fast(trace, fresh_regs(image_b, {}), image_b, "t")

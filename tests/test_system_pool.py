@@ -1,0 +1,172 @@
+"""System pooling: seal once per process, dirty-restore per run.
+
+The correctness bar for the pool is absolute: a restored system must be
+*structurally indistinguishable* from a fresh ``build_system`` — same
+image bytes, same allocator positions, same kernel counters, same stub
+tables — because campaign outcomes are classified from exactly that
+state.  These tests drive real faulty runs through pooled systems and
+verify both the structural invariant and outcome bit-identity.
+"""
+
+import pytest
+
+from repro import observe
+from repro.swifi.campaign import (
+    CampaignRunner,
+    _campaign_system,
+    execute_run,
+)
+from repro.system import (
+    GLOBAL_POOL,
+    SystemPool,
+    SystemSnapshot,
+    build_system,
+    pooling_enabled,
+    system_fingerprint,
+    system_snapshot,
+)
+from repro.errors import ReproError
+
+
+def _lock_spec(seed=3, iterations=4):
+    runner = CampaignRunner("lock", n_faults=0, seed=seed,
+                            iterations=iterations)
+    return runner.spec()
+
+
+class TestRestoreEqualsFresh:
+    @pytest.mark.parametrize("ft_mode", ["superglue", "c3", "none"])
+    def test_clean_restore_matches_fresh_build(self, ft_mode):
+        snapshot = SystemSnapshot(build_system(ft_mode))
+        snapshot.restore()
+        assert snapshot.diff_against_fresh() == []
+
+    def test_restore_after_faulty_runs_matches_fresh(self):
+        spec = _lock_spec()
+        pool = SystemPool()
+        system = pool.acquire(ft_mode=spec.ft_mode,
+                              recovery_mode=spec.recovery_mode)
+        snapshot = pool._snapshots[(spec.ft_mode,
+                                    tuple(system.apps),
+                                    spec.recovery_mode)]
+        # Dirty the pooled system with real injection runs, then restore.
+        from repro.swifi.injector import SwifiController
+        from repro.workloads import workload_for
+
+        for run_seed in (11, 12, 13):
+            swifi = SwifiController(system.kernel, seed=run_seed)
+            handle = workload_for("lock").install(system, iterations=4)
+            swifi.arm("lock", after_executions=run_seed % spec.horizon)
+            try:
+                system.run(max_steps=60_000)
+            except Exception:
+                pass
+            snapshot.restore()
+        assert snapshot.diff_against_fresh() == []
+
+    def test_fingerprint_detects_divergence(self):
+        # The debug diff must actually have teeth: rig the sealed system
+        # and check the fingerprint comparison catches it.
+        snapshot = SystemSnapshot(build_system("superglue"))
+        snapshot.restore()
+        snapshot.system.kernel.stats["invocations"] = 999
+        diffs = snapshot.diff_against_fresh()
+        assert any("invocations" in d for d in diffs)
+
+    def test_pool_debug_mode_raises_on_divergence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_DEBUG", "1")
+        pool = SystemPool()
+        system = pool.acquire(ft_mode="superglue")
+        # First acquire builds; poison durable state that a restore will
+        # not repair (sealed storage copy), then re-acquire.
+        storage = system.kernel.component("storage")
+        storage._sealed_data[("rigged", "key")] = 1
+        with pytest.raises(ReproError, match="diverged"):
+            pool.acquire(ft_mode="superglue")
+
+
+class TestDirtyUnderFaults:
+    def test_taint_always_on_dirty_pages(self):
+        # Under injected runs, every tainted word must lie on a dirty
+        # page — that is what makes the O(dirty) restore provably clear
+        # all corruption.
+        spec = _lock_spec()
+        pool = SystemPool()
+        system = pool.acquire(ft_mode=spec.ft_mode,
+                              recovery_mode=spec.recovery_mode)
+        from repro.swifi.injector import SwifiController
+        from repro.workloads import workload_for
+
+        swifi = SwifiController(system.kernel, seed=5)
+        workload_for("lock").install(system, iterations=4)
+        swifi.arm("lock", after_executions=2)
+        try:
+            system.run(max_steps=60_000)
+        except Exception:
+            pass
+        checked_words = 0
+        for component in system.kernel.components.values():
+            image = component.image
+            for index, bit in enumerate(image._taint):
+                if bit:
+                    assert image.is_page_dirty(index)
+                    checked_words += 1
+            # A run writes a tiny fraction of each 16K-word image.
+            assert image.dirty_page_count < len(image._dirty)
+
+    def test_restore_cost_tracks_dirtiness(self):
+        system = build_system("superglue")
+        lock = system.kernel.component("lock")
+        snapshot = system_snapshot(system)
+        lock.image.write_word(lock.image.base + 40, 7)
+        snapshot.restore()
+        # Only the handful of pages reinit touches plus the one we wrote
+        # come back — not the whole 64-page image.
+        assert lock.image.dirty_page_count < 8
+
+
+class TestPoolGate:
+    def test_pooling_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SYSTEM_POOL", raising=False)
+        assert pooling_enabled()
+
+    def test_gate_disables_pooling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "0")
+        assert not pooling_enabled()
+        spec = _lock_spec()
+        a = _campaign_system(spec.ft_mode, spec.recovery_mode)
+        b = _campaign_system(spec.ft_mode, spec.recovery_mode)
+        assert a is not b
+
+    def test_pooled_systems_are_reused(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
+        before = GLOBAL_POOL.stats["restores"]
+        a = _campaign_system("superglue", "ondemand")
+        b = _campaign_system("superglue", "ondemand")
+        assert a is b
+        assert GLOBAL_POOL.stats["restores"] > before
+
+    def test_traced_runs_bypass_pool(self, monkeypatch):
+        # Warm trace caches change cache-hit counters that traced runs
+        # fold into their per-run metrics; trace artifacts must stay
+        # byte-identical serial vs parallel, so tracing forces a fresh
+        # build.
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
+        pooled = _campaign_system("superglue", "ondemand")
+        with observe.tracing(True):
+            traced = _campaign_system("superglue", "ondemand")
+        assert traced is not pooled
+
+
+class TestOutcomeInvariance:
+    def test_pooled_matches_fresh_over_100_run_sweep(self, monkeypatch):
+        spec = _lock_spec(seed=3)
+        seeds = [3 * 1_000_003 + i for i in range(100)]
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "0")
+        fresh = [execute_run(spec, s) for s in seeds]
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
+        pooled = [execute_run(spec, s) for s in seeds]
+        assert pooled == fresh
+        # The sweep must exercise more than one outcome class for the
+        # comparison to mean anything.
+        assert len(set(fresh)) > 1
