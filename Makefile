@@ -4,7 +4,7 @@ PY ?= python3
 # Worker-pool size for the SWIFI campaign (0 = all CPUs).
 WORKERS ?= 0
 
-.PHONY: install test lint bench perf profile campaign fig7 examples clean
+.PHONY: install test lint bench perf profile campaign fig7 fig7-campaign examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -26,6 +26,8 @@ perf:
 	$(PY) scripts/check_interp_baseline.py /tmp/interp_throughput.json
 	$(PY) benchmarks/bench_campaign_throughput.py --json /tmp/campaign_throughput.json
 	$(PY) scripts/check_campaign_baseline.py /tmp/campaign_throughput.json
+	$(PY) benchmarks/bench_fig7_webserver.py --json /tmp/fig7_webserver.json
+	$(PY) scripts/check_fig7_baseline.py /tmp/fig7_webserver.json
 
 # cProfile over a small campaign; SERVICE/FAULTS/SORT overridable.
 SERVICE ?= lock
@@ -43,6 +45,11 @@ campaign:
 
 fig7:
 	$(PY) -m repro fig7 --requests 2000
+
+# Multi-seed faulted web-server campaign (SEEDS/WORKERS overridable).
+SEEDS ?= 16
+fig7-campaign:
+	$(PY) -m repro fig7 --seeds $(SEEDS) --workers $(WORKERS)
 
 examples:
 	$(PY) examples/quickstart.py

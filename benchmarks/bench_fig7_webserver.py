@@ -6,12 +6,41 @@ periodic fault injection.  Paper numbers: ~17600 / ~16200 / ~14500
 (-10.5%) / ~14281 (-11.84%) requests/s, and ~13.6% slowdown with faults;
 throughput recovers within ~2 s of each fault.  Absolute simulated
 numbers differ (virtual time); the *relative* shape is the target.
+
+Standalone mode (``python benchmarks/bench_fig7_webserver.py --json
+out.json``) measures the *campaign engine* instead: wall-clock runs/sec
+of a multi-seed faulted web-server sweep through ``execute_web_run``,
+pooled vs fresh-build-per-seed, with rows asserted identical between the
+two.  ``scripts/check_fig7_baseline.py`` gates CI on the committed
+baseline in ``benchmarks/baselines/fig7_webserver.json``.  The sweep
+uses deliberately short runs (a few dozen requests): per-run fixed costs
+— system boot, trace-cache and fast-path warmup — are what pooling
+amortizes, and long request streams would bury them in steady-state
+serving time that pooling cannot (and should not) change.
 """
 
-import pytest
+from __future__ import annotations
 
-from repro.webserver.apache_model import ApacheModel
-from repro.webserver.loadgen import run_webserver
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import pytest  # noqa: E402
+
+from repro.system import GLOBAL_POOL, compile_all_interfaces  # noqa: E402
+from repro.webserver.apache_model import ApacheModel  # noqa: E402
+from repro.webserver.campaign import (  # noqa: E402
+    WebRunSpec,
+    execute_web_run,
+    prepare_webserver,
+    web_run_seeds,
+)
+from repro.webserver.loadgen import run_webserver  # noqa: E402
 
 _RPS = {}
 
@@ -85,3 +114,103 @@ def test_fig7_shape(benchmark):
     assert 0.05 < shape["c3_slowdown"] < 0.18
     assert shape["c3_slowdown"] < shape["superglue_slowdown"] < 0.20
     assert shape["faulted_slowdown"] >= shape["superglue_slowdown"] - 0.01
+
+
+# ---------------------------------------------------------------------------
+# Standalone campaign-throughput benchmark (pooled vs fresh per seed)
+# ---------------------------------------------------------------------------
+
+def _timed_sweep(spec: WebRunSpec, seeds) -> tuple:
+    """Execute every seed serially in-process; returns (elapsed, rows)."""
+    start = time.perf_counter()
+    rows = [execute_web_run(spec, seed) for seed in seeds]
+    return time.perf_counter() - start, rows
+
+
+def measure_web_campaign(n_seeds: int, repeat: int = 3) -> dict:
+    """Web-campaign runs/sec, pooled vs fresh-build-per-seed.
+
+    Short probe runs (40 requests, 2 faults) keep per-run fixed costs —
+    the thing pooling removes — visible against serving time.  Rows are
+    asserted identical across the two sweeps: the speedup is only
+    meaningful if the pooled path is bit-exact.
+    """
+    spec = WebRunSpec(n_requests=40, n_faults=2)
+    seeds = web_run_seeds(1, n_seeds)
+    compile_all_interfaces()  # both sweeps start with warm IDL compiles
+    saved = os.environ.get("REPRO_SYSTEM_POOL")
+    try:
+        results = {}
+        for label, gate in (("fresh", "0"), ("pooled", "1")):
+            os.environ["REPRO_SYSTEM_POOL"] = gate
+            if gate == "1":
+                # Boot + seal outside the timed region, as the campaign
+                # worker initializer does.
+                GLOBAL_POOL.acquire(
+                    ft_mode=spec.ft_mode,
+                    recovery_mode=spec.recovery_mode,
+                    prepare=prepare_webserver,
+                )
+            best, rows = float("inf"), None
+            for __ in range(repeat):
+                elapsed, sweep = _timed_sweep(spec, seeds)
+                best = min(best, elapsed)
+                if rows is None:
+                    rows = sweep
+                elif sweep != rows:
+                    raise AssertionError(
+                        f"{label} sweep rows changed between repeats"
+                    )
+            results[label] = (best, rows)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SYSTEM_POOL", None)
+        else:
+            os.environ["REPRO_SYSTEM_POOL"] = saved
+    fresh_time, fresh_rows = results["fresh"]
+    pooled_time, pooled_rows = results["pooled"]
+    if pooled_rows != fresh_rows:
+        raise AssertionError(
+            "pooled sweep rows diverge from fresh-build rows; the pool "
+            "is not bit-exact — do not trust the speedup"
+        )
+    served = sum(row["served"] for row in fresh_rows)
+    return {
+        "campaign_runs": len(seeds),
+        "requests_served": served,
+        "fresh_runs_per_sec": len(seeds) / fresh_time,
+        "pooled_runs_per_sec": len(seeds) / pooled_time,
+        "pooled_over_fresh": fresh_time / pooled_time,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=30,
+                        help="faulted web-server runs per sweep")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes for CI smoke runs")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write results as JSON")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.seeds, args.repeat = 15, 2
+
+    results = measure_web_campaign(args.seeds, repeat=args.repeat)
+    print(f"campaign runs/sweep    : {results['campaign_runs']}")
+    print(f"requests served/sweep  : {results['requests_served']}")
+    print(f"fresh-build runs/sec   : {results['fresh_runs_per_sec']:,.1f}")
+    print(f"pooled runs/sec        : {results['pooled_runs_per_sec']:,.1f}")
+    print(f"pooled/fresh speedup   : {results['pooled_over_fresh']:.2f}x")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Check a Fig. 7 web-campaign artifact against the committed baseline.
+
+Usage:  python scripts/check_fig7_baseline.py ARTIFACT [BASELINE]
+                [--tolerance FRACTION]
+
+ARTIFACT is the output of ``python benchmarks/bench_fig7_webserver.py
+--json PATH``; BASELINE defaults to
+``benchmarks/baselines/fig7_webserver.json``.
+
+Two kinds of gate, mirroring ``check_campaign_baseline.py``:
+
+* **absolute rates** (fresh/pooled web-campaign runs/sec) must stay
+  within ``tolerance`` below the recorded values — a wide net for
+  order-of-magnitude regressions, since absolute throughput varies
+  across machines and CI runners.
+* **pooled/fresh ratio** must stay above ``min_pooled_over_fresh``.
+  Both sweeps execute the same seeds on the same host, so the ratio is
+  machine-independent; a collapse means web-server pooling broke or
+  stopped being used.
+
+Exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks" / "baselines" / "fig7_webserver.json"
+)
+
+
+def check(artifact_path: str, baseline_path: str,
+          tolerance: float | None) -> int:
+    with open(artifact_path, "r", encoding="utf-8") as handle:
+        results = json.load(handle)
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if tolerance is None:
+        tolerance = baseline.get("default_tolerance", 0.40)
+
+    failures = []
+    for metric, recorded in baseline["recorded"].items():
+        value = results.get(metric)
+        if value is None:
+            failures.append(f"{metric}: missing from artifact")
+            continue
+        floor = recorded * (1.0 - tolerance)
+        status = "ok" if value >= floor else "FAIL"
+        print(
+            f"{metric:22s} {value:14,.1f}  "
+            f"(recorded {recorded:14,.1f}, floor {floor:14,.1f})  {status}"
+        )
+        if value < floor:
+            failures.append(
+                f"{metric}: {value:,.1f} below floor {floor:,.1f} "
+                f"(recorded {recorded:,.1f}, tolerance {tolerance:.0%})"
+            )
+
+    ratio_floor = baseline.get("min_pooled_over_fresh")
+    if ratio_floor is not None:
+        ratio = results.get("pooled_over_fresh", 0.0)
+        status = "ok" if ratio >= ratio_floor else "FAIL"
+        print(f"{'pooled_over_fresh':22s} {ratio:14.2f}  "
+              f"(floor {ratio_floor:14.2f})  {status}")
+        if ratio < ratio_floor:
+            failures.append(
+                f"pooled_over_fresh: {ratio:.2f} below floor "
+                f"{ratio_floor:.2f}"
+            )
+
+    if failures:
+        print("\nFIG7 BASELINE CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nfig7 baseline check passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact",
+                        help="bench_fig7_webserver.py --json output")
+    parser.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional drop below recorded rates "
+                             "(default: baseline file's default_tolerance)")
+    args = parser.parse_args(argv)
+    return check(args.artifact, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

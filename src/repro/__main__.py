@@ -10,7 +10,10 @@ Commands:
 * ``trace PATH [--run SEED] [--full] [--validate]`` — render a recorded
   trace artifact: campaign roll-up plus one run's recovery timeline
 * ``fig6`` — tracking overhead, recovery overhead, LOC tables (Fig. 6)
-* ``fig7 [--requests N]`` — web-server throughput (Fig. 7)
+* ``fig7 [--requests N] [--seeds N --workers W --json PATH --trace PATH]``
+  — web-server throughput (Fig. 7): single-run comparison table by
+  default, or a pooled parallel multi-seed faulted campaign with
+  latency percentiles when ``--seeds`` is given
 * ``compile <service|path.idl>`` — show compiler output for one interface
 """
 
@@ -158,6 +161,8 @@ def _cmd_fig6(args) -> int:
 
 
 def _cmd_fig7(args) -> int:
+    if args.seeds is not None:
+        return _cmd_fig7_campaign(args)
     from repro.webserver.apache_model import ApacheModel
     from repro.webserver.loadgen import run_webserver
 
@@ -185,8 +190,72 @@ def _cmd_fig7(args) -> int:
     print(
         f"  superglue + faults     {faulted.throughput_rps:>12,.0f} req/s"
         f"  ({100 * (1 - faulted.throughput_rps / base):.2f}% slowdown; "
-        f"{faulted.faults_injected} faults, {faulted.reboots} reboots)"
+        f"{faulted.faults_injected}/{faulted.faults_armed} faults "
+        f"delivered/armed, {faulted.reboots} reboots)"
     )
+    return 0
+
+
+def _cmd_fig7_campaign(args) -> int:
+    """Multi-seed faulted campaign mode (``fig7 --seeds N``)."""
+    from repro.webserver.campaign import (
+        WebRunSpec,
+        format_web_campaign,
+        run_webserver_campaign,
+        web_run_seeds,
+    )
+
+    if args.json:
+        # Fail on an unwritable artifact path before running the campaign.
+        try:
+            with open(args.json, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"cannot write --json {args.json}: {exc}", file=sys.stderr)
+            return 1
+    if args.trace:
+        # The exporter appends; the artifact must start empty.
+        try:
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"cannot write --trace {args.trace}: {exc}", file=sys.stderr)
+            return 1
+    spec = WebRunSpec(
+        ft_mode=args.mode,
+        n_requests=args.requests,
+        concurrency=args.concurrency,
+        n_faults=args.faults,
+    )
+    # 0 = one worker per CPU, matching the campaign Make targets.
+    workers = args.workers or (os.cpu_count() or 1)
+    print(
+        f"Fig. 7 campaign: {args.seeds} seeded runs x {args.requests} "
+        f"requests ({args.mode} stubs, {workers} worker(s))"
+    )
+    result = run_webserver_campaign(
+        web_run_seeds(args.seed, args.seeds),
+        spec,
+        workers=workers,
+        trace=args.trace,
+    )
+    print(format_web_campaign(result))
+    if result.exec_wall > 0:
+        # stderr: stdout stays deterministic across hosts and reruns.
+        print(
+            f"wall clock: setup {result.setup_wall:.2f}s + "
+            f"exec {result.exec_wall:.2f}s "
+            f"({len(result.rows) / result.exec_wall:.1f} runs/s)",
+            file=sys.stderr,
+        )
+    if args.json:
+        result.write_json(args.json)
+        print(f"wrote {args.json} (+ .timing.json sidecar)")
+    if args.trace:
+        print(
+            f"wrote {args.trace} "
+            f"(render with: python -m repro trace {args.trace})"
+        )
     return 0
 
 
@@ -285,6 +354,46 @@ def main(argv=None) -> int:
     p = sub.add_parser("fig7", help="web-server throughput")
     p.add_argument("--requests", type=int, default=1000)
     p.add_argument("--seed", type=int, default=3)
+    p.add_argument(
+        "--seeds",
+        type=int,
+        metavar="N",
+        default=None,
+        help="campaign mode: N seeded faulted runs through the pooled "
+        "parallel campaign engine (default: single-run comparison table)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="campaign mode: process-pool size "
+        "(default: 1, in-process; 0 = one per CPU)",
+    )
+    p.add_argument(
+        "--mode", choices=("none", "c3", "superglue"), default="superglue",
+        help="campaign mode: stub flavor (default: superglue)",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=10,
+        help="campaign mode: max outstanding requests (ab -c; default 10)",
+    )
+    p.add_argument(
+        "--faults", type=int, default=3,
+        help="campaign mode: SWIFI faults armed per run (default 3)",
+    )
+    p.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="campaign mode: write rows + aggregate as a JSON artifact",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="campaign mode: record runs under the flight recorder and "
+        "export a JSONL trace artifact",
+    )
     p.set_defaults(fn=_cmd_fig7)
 
     p = sub.add_parser("compile", help="compile one IDL interface")

@@ -18,7 +18,8 @@ creator), plus T0/T1/R0/D1 and G1 for the pending-trigger counts.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from collections import deque
+from typing import Deque, Dict, List
 
 from repro.composite.component import export
 from repro.composite.machine import EBX, ECX
@@ -40,7 +41,9 @@ class _EventState:
         self.parent = parent
         self.grp = grp
         self.pending = 0  # triggers delivered with no waiter yet
-        self.waiters: List[int] = []
+        # A deque: releases/triggers wake from the head, and a busy
+        # wait queue made list.pop(0) O(waiters) per wake.
+        self.waiters: Deque[int] = deque()
         self.creator = creator
         #: Stable identity across micro-reboots: (creator, grp).  Pending
         #: trigger counts (the event's *resource data*, G1) are persisted
@@ -163,7 +166,7 @@ class EventService(ServiceComponent):
         record = self.record_for(evtid)
         state = self.events[evtid]
         if state.waiters:
-            waiter = state.waiters.pop(0)
+            waiter = state.waiters.popleft()
             trace = self.checked_touch(
                 record,
                 expected=[

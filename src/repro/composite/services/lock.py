@@ -13,7 +13,8 @@ no inter-descriptor dependencies (``Solo``).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from collections import deque
+from typing import Deque, Dict, List
 
 from repro.composite.component import export
 from repro.composite.services.common import ServiceComponent
@@ -29,7 +30,9 @@ class _LockState:
 
     def __init__(self):
         self.owner = 0  # 0 means free
-        self.waiters: List[int] = []
+        # A deque: releases/triggers wake from the head, and a busy
+        # wait queue made list.pop(0) O(waiters) per wake.
+        self.waiters: Deque[int] = deque()
 
 
 class LockService(ServiceComponent):
@@ -115,7 +118,7 @@ class LockService(ServiceComponent):
         if state.owner != thread.tid:
             return -1  # EPERM: releasing a lock we do not hold
         if state.waiters:
-            next_tid = state.waiters.pop(0)
+            next_tid = state.waiters.popleft()
             contended = self.record_field(lock_id, FIELD_CONTENDED)
             trace = self.checked_touch(
                 record,

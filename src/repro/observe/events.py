@@ -46,6 +46,10 @@ EVENT_FIELDS: Dict[str, FrozenSet[str]] = {
     "swifi_inject": frozenset(
         {"component", "reg", "bit", "op_index", "trace_len", "label"}
     ),
+    # -- web-server request path ----------------------------------------
+    "request_start": frozenset({"rid", "queued"}),
+    "request_done": frozenset({"rid", "status", "latency_cycles"}),
+    "throughput_dip": frozenset({"gap_cycles", "served"}),
     # -- latent-fault monitor -------------------------------------------
     "scrub_detection": frozenset({"component", "addr"}),
     # -- trace execution engine -----------------------------------------

@@ -76,6 +76,18 @@ def _describe(event: Dict[str, object]) -> str:
             f"bit {d['bit']} at op {d['op_index']}/{d['trace_len']} "
             f"in trace '{d['label']}'"
         )
+    if name == "request_start":
+        return f"request       #{d['rid']} queued (depth {d['queued']})"
+    if name == "request_done":
+        return (
+            f"response      #{d['rid']} status={d['status']} "
+            f"({d['latency_cycles']} cyc latency)"
+        )
+    if name == "throughput_dip":
+        return (
+            f"DIP           throughput stalled {d['gap_cycles']} cyc "
+            f"(served={d['served']})"
+        )
     if name == "scrub_detection":
         return f"scrub         {d['component']}: latent corruption at {d['addr']:#x}"
     if name == "trace_exec":
@@ -190,6 +202,7 @@ RECOVERY_EVENTS = {
     "descriptor_recovery",
     "scrub_detection",
     "upcall",
+    "throughput_dip",
 }
 
 

@@ -20,6 +20,7 @@ Table II campaign.
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -66,6 +67,41 @@ def _init_campaign_worker(spec: RunSpec) -> None:
         GLOBAL_POOL.acquire(
             ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode
         )
+
+
+def fan_out_chunks(
+    execute,
+    pending: Sequence[int],
+    workers: int,
+    initializer=None,
+    initargs: tuple = (),
+    on_batch=None,
+) -> None:
+    """Fan ``execute`` out over chunked seeds — the shared campaign core.
+
+    ``execute(seeds)`` must be a picklable callable (a module-level
+    function or a :func:`functools.partial` of one) returning one result
+    per seed; ``on_batch(results)`` is invoked in the parent as each
+    chunk completes (completion order — callers that need determinism
+    merge by seed afterwards, as :func:`run_campaign` does).  With
+    ``workers <= 1`` or at most one pending seed, everything runs
+    in-process seed-by-seed with no pool overhead but the identical
+    per-run code path.  Used by both the SWIFI table campaigns and the
+    web-server Fig. 7 campaign.
+    """
+    if workers <= 1 or len(pending) <= 1:
+        for seed in pending:
+            on_batch(execute([seed]))
+        return
+    chunks = chunk_seeds(pending, workers)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        futures = [pool.submit(execute, chunk) for chunk in chunks]
+        for future in as_completed(futures):
+            on_batch(future.result())
 
 
 def _execute_chunk(
@@ -189,24 +225,14 @@ def run_campaign(
             if progress is not None:
                 progress(completed, total, outcomes[run_seed])
 
-    if workers <= 1 or len(pending) <= 1:
-        # In-process serial path: same per-run function, same journal
-        # protocol, no pool overhead.
-        for seed in pending:
-            note(_execute_chunk(spec, [seed], trace=tracing))
-    else:
-        chunks = chunk_seeds(pending, workers)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_campaign_worker,
-            initargs=(spec,),
-        ) as pool:
-            futures = [
-                pool.submit(_execute_chunk, spec, chunk, tracing)
-                for chunk in chunks
-            ]
-            for future in as_completed(futures):
-                note(future.result())
+    fan_out_chunks(
+        functools.partial(_execute_chunk, spec, trace=tracing),
+        pending,
+        workers,
+        initializer=_init_campaign_worker,
+        initargs=(spec,),
+        on_batch=note,
+    )
 
     counter = OutcomeCounter()
     for seed in run_seeds:

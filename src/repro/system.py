@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import os
 import zlib
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.composite.app import AppComponent
 from repro.composite.booter import Booter
@@ -203,7 +204,7 @@ def _flatten(obj, path: str, out: Dict[str, object], depth: int = 0) -> None:
         out[f"{path}#len"] = len(obj)
         for key in sorted(obj, key=repr):
             _flatten(obj[key], f"{path}[{key!r}]", out, depth + 1)
-    elif isinstance(obj, (list, tuple)):
+    elif isinstance(obj, (list, tuple, deque)):
         out[f"{path}#len"] = len(obj)
         for index, item in enumerate(obj):
             _flatten(item, f"{path}[{index}]", out, depth + 1)
@@ -274,10 +275,21 @@ class SystemSnapshot:
     component images (dirty pages only) and records, stub tracking
     tables, recovery samples, the booter log — leaving the restored
     system structurally identical to a fresh :func:`build_system`.
+
+    ``prepare`` is an optional post-build hook (e.g. registering the web
+    server's application components) applied before sealing; the debug
+    diff applies the same hook to its fresh reference build so prepared
+    systems stay verifiable.  It must be deterministic and idempotent
+    per fresh system.
     """
 
-    def __init__(self, system: System):
+    def __init__(
+        self,
+        system: System,
+        prepare: Optional[Callable[[System], None]] = None,
+    ):
         self.system = system
+        self.prepare = prepare
         self.params: Tuple[str, tuple, str] = (
             system.ft_mode,
             tuple(system.apps),
@@ -313,6 +325,8 @@ class SystemSnapshot:
         """Structural differences between this system and a fresh build."""
         ft_mode, apps, recovery_mode = self.params
         fresh = build_system(ft_mode, apps=apps, recovery_mode=recovery_mode)
+        if self.prepare is not None:
+            self.prepare(fresh)
         pooled = system_fingerprint(self.system)
         reference = system_fingerprint(fresh)
         diffs = []
@@ -324,9 +338,9 @@ class SystemSnapshot:
         return diffs
 
 
-def system_snapshot(system: System) -> SystemSnapshot:
+def system_snapshot(system: System, prepare=None) -> SystemSnapshot:
     """Seal ``system``'s current (post-boot) state for later restores."""
-    return SystemSnapshot(system)
+    return SystemSnapshot(system, prepare=prepare)
 
 
 class SystemPool:
@@ -347,14 +361,24 @@ class SystemPool:
         ft_mode: str = "superglue",
         apps=DEFAULT_APPS,
         recovery_mode: str = "ondemand",
+        prepare: Optional[Callable[[System], None]] = None,
     ) -> System:
-        key = (ft_mode, tuple(apps), recovery_mode)
+        key = (
+            ft_mode,
+            tuple(apps),
+            recovery_mode,
+            None
+            if prepare is None
+            else f"{prepare.__module__}.{prepare.__qualname__}",
+        )
         snapshot = self._snapshots.get(key)
         if snapshot is None:
             system = build_system(
                 ft_mode, apps=apps, recovery_mode=recovery_mode
             )
-            self._snapshots[key] = SystemSnapshot(system)
+            if prepare is not None:
+                prepare(system)
+            self._snapshots[key] = SystemSnapshot(system, prepare=prepare)
             self.stats["builds"] += 1
             return system
         system = snapshot.restore()

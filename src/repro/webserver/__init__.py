@@ -1,12 +1,19 @@
 """Componentized web server application (Section V-E, Fig. 7)."""
 
 from repro.webserver.apache_model import ApacheModel
+from repro.webserver.campaign import (
+    WebCampaignResult,
+    WebRunSpec,
+    execute_web_run,
+    run_webserver_campaign,
+    web_run_seeds,
+)
 from repro.webserver.http import (
     HttpRequest,
     build_response,
     parse_request,
 )
-from repro.webserver.loadgen import LoadGenerator, LoadResult
+from repro.webserver.loadgen import LoadGenerator, LoadResult, run_webserver
 from repro.webserver.server import WebServer
 
 __all__ = [
@@ -16,5 +23,11 @@ __all__ = [
     "parse_request",
     "LoadGenerator",
     "LoadResult",
+    "WebCampaignResult",
+    "WebRunSpec",
     "WebServer",
+    "execute_web_run",
+    "run_webserver",
+    "run_webserver_campaign",
+    "web_run_seeds",
 ]

@@ -1,0 +1,531 @@
+"""Multi-seed web-server evaluation campaigns (Section V-E, Fig. 7).
+
+The paper's end-to-end number is a *distribution*, not a point: ab is run
+repeatedly while a fault is injected into a different system-level
+component each period.  A single ``run_webserver`` call answers "what
+happened once"; this module scales it the way ReHype's evaluation scales
+VM recovery — many seeded runs, each a pure function of
+``(WebRunSpec, run_seed)``, fanned out over the SWIFI campaign
+machinery:
+
+* systems come from :class:`repro.system.SystemPool` (boot + seal once
+  per process, dirty-restore per run) with the web server's application
+  components registered *before* sealing via the pool's ``prepare``
+  hook, so ``REPRO_POOL_DEBUG=1`` verification covers them too;
+* seeds are chunked across :func:`repro.swifi.parallel.fan_out_chunks`'s
+  process pool, and rows are merged in seed order, so a campaign's JSON
+  artifact is byte-identical serial vs parallel, pooled vs fresh;
+* per-request latencies aggregate through
+  :mod:`repro.observe.metrics` order-independent histograms (p50/p95/p99
+  in virtual time), and traced runs export ``request_start`` /
+  ``request_done`` / ``throughput_dip`` arcs for
+  ``python -m repro trace``.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.composite.scheduler import CYCLES_PER_US
+from repro.observe import export as trace_export
+from repro.observe.metrics import (
+    MetricsRegistry,
+    canonical_metrics,
+    merge_metrics,
+)
+from repro.swifi.parallel import default_workers, fan_out_chunks
+from repro.system import (
+    GLOBAL_POOL,
+    build_system,
+    compile_all_interfaces,
+    pooling_enabled,
+)
+from repro.webserver.loadgen import LoadResult, run_webserver
+from repro.webserver.server import (
+    DIP_THRESHOLD_CYCLES,
+    register_webserver_components,
+)
+
+#: Latency quantiles reported per run and per campaign.
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+@dataclass(frozen=True)
+class WebRunSpec:
+    """Everything one faulted web-server run depends on besides its seed."""
+
+    ft_mode: str = "superglue"
+    n_requests: int = 120
+    concurrency: int = 10
+    n_workers: int = 2
+    n_faults: int = 3
+    max_steps: int = 2_000_000
+    recovery_mode: str = "ondemand"
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ValueError("WebRunSpec needs n_requests >= 1")
+        if self.concurrency < 1:
+            raise ValueError("WebRunSpec needs concurrency >= 1")
+
+    def fingerprint(self) -> str:
+        """Stable identity string (trace artifacts key on it)."""
+        return (
+            f"webserver/{self.ft_mode}/r{self.n_requests}"
+            f"/c{self.concurrency}/w{self.n_workers}/f{self.n_faults}"
+            f"/{self.recovery_mode}"
+        )
+
+
+def web_run_seeds(seed: int, n_seeds: int) -> List[int]:
+    """The deterministic seed schedule (same stride as SWIFI campaigns)."""
+    return [seed * 1_000_003 + i for i in range(n_seeds)]
+
+
+def prepare_webserver(system) -> None:
+    """Pool ``prepare`` hook: give a fresh system the web server's own
+    application components (httpparse, connmgr) before it is sealed.
+
+    Module-level (stable qualname) so the pool can key snapshots on it
+    and apply it to the fresh reference build under ``REPRO_POOL_DEBUG``.
+    """
+    register_webserver_components(system.kernel)
+
+
+def _web_system(spec: WebRunSpec):
+    """A prepared system for one campaign run: pooled unless tracing."""
+    from repro.observe import tracing_enabled
+
+    if pooling_enabled() and not tracing_enabled():
+        return GLOBAL_POOL.acquire(
+            ft_mode=spec.ft_mode,
+            recovery_mode=spec.recovery_mode,
+            prepare=prepare_webserver,
+        )
+    system = build_system(
+        ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode
+    )
+    prepare_webserver(system)
+    return system
+
+
+# ---------------------------------------------------------------------------
+# Per-run execution
+# ---------------------------------------------------------------------------
+
+def _nearest_rank(sorted_values: Sequence[int], q: float) -> Optional[int]:
+    """Exact nearest-rank quantile of an already-sorted sequence."""
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def histogram_quantile(h: Dict[str, object], q: float) -> Optional[int]:
+    """Quantile of a serialized power-of-two-bucket histogram.
+
+    Returns the inclusive upper bound of the bucket holding the
+    nearest-rank sample (clamped to the observed max), so merged
+    campaign percentiles are order-independent: every run's samples land
+    in the same buckets no matter which worker observed them.
+    """
+    count = h.get("count", 0)
+    if not count:
+        return None
+    rank = max(1, math.ceil(q * count))
+    seen = 0
+    for bucket in sorted(h["buckets"], key=int):
+        seen += h["buckets"][bucket]
+        if seen >= rank:
+            b = int(bucket)
+            upper = 0 if b == 0 else (1 << b) - 1
+            observed_max = h.get("max")
+            return upper if observed_max is None else min(upper, observed_max)
+    return h.get("max")
+
+
+def _run_outcome(result: LoadResult) -> str:
+    if result.crashed is not None:
+        return f"crashed:{result.crashed}"
+    if result.served < result.requests:
+        return "degraded"
+    return "ok"
+
+
+def _row_from_result(run_seed: int, result: LoadResult) -> Dict[str, object]:
+    """One JSON-safe campaign row, a pure function of the run's outcome.
+
+    Everything here derives from the :class:`LoadResult` alone — never
+    from kernel engine counters (trace-cache hits etc.), which warm
+    caches shift between pooled and fresh systems.  That is what keeps
+    campaign artifacts byte-identical pooled vs fresh.
+    """
+    latencies = sorted(result.latencies)
+    metrics = MetricsRegistry()
+    metrics.counter("runs").inc()
+    metrics.counter("requests").inc(result.requests)
+    metrics.counter("served").inc(result.served)
+    metrics.counter("errors").inc(result.errors)
+    metrics.counter("reboots").inc(result.reboots)
+    metrics.counter("faults_armed").inc(result.faults_armed)
+    metrics.counter("faults_delivered").inc(result.faults_injected)
+    if result.crashed is not None:
+        metrics.counter("crashed_runs").inc()
+    latency_hist = metrics.histogram("request_latency_cycles")
+    for value in result.latencies:
+        latency_hist.observe(value)
+    dip_hist = metrics.histogram("dip_gap_cycles")
+    gaps = [
+        result.series[i + 1][0] - result.series[i][0]
+        for i in range(len(result.series) - 1)
+    ]
+    dip_gaps = [gap for gap in gaps if gap > DIP_THRESHOLD_CYCLES]
+    for gap in dip_gaps:
+        dip_hist.observe(gap)
+    metrics.counter("dips").inc(len(dip_gaps))
+    row: Dict[str, object] = {
+        "run_seed": run_seed,
+        "outcome": _run_outcome(result),
+        "requests": result.requests,
+        "served": result.served,
+        "errors": result.errors,
+        "duration_cycles": result.duration_cycles,
+        "reboots": result.reboots,
+        "faults_armed": result.faults_armed,
+        "faults_delivered": result.faults_injected,
+        "steps": result.steps,
+        "crashed": result.crashed,
+        "throughput_rps": result.throughput_rps,
+        "dips": len(dip_gaps),
+        "dip_max_cycles": max(dip_gaps) if dip_gaps else None,
+        "dip_recovery_cycles": result.dip_recovery_cycles(),
+        "metrics": canonical_metrics(metrics.to_dict()),
+    }
+    for name, q in QUANTILES:
+        row[f"latency_{name}_cycles"] = _nearest_rank(latencies, q)
+    return row
+
+
+def execute_web_run(spec: WebRunSpec, run_seed: int) -> Dict[str, object]:
+    """Execute one faulted web-server run; returns its campaign row.
+
+    Module-level and pure (given the spec and seed) so process-pool
+    workers can run it from chunks, like the SWIFI ``execute_run``.
+    """
+    result = run_webserver(
+        ft_mode=spec.ft_mode,
+        n_requests=spec.n_requests,
+        concurrency=spec.concurrency,
+        n_workers=spec.n_workers,
+        with_faults=spec.n_faults > 0,
+        n_faults=spec.n_faults,
+        seed=run_seed,
+        max_steps=spec.max_steps,
+        system=_web_system(spec),
+        # Shortfalls are first-class row data (faults_armed) in a
+        # campaign, not per-run stderr noise.
+        warn_shortfall=False,
+    )
+    return _row_from_result(run_seed, result)
+
+
+def execute_web_run_traced(
+    spec: WebRunSpec, run_seed: int
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """One run under the flight recorder; returns ``(row, run_record)``.
+
+    The record carries the request-path arcs (``request_start`` /
+    ``request_done`` / ``throughput_dip``) interleaved with the
+    injection/reboot/replay events, ready for
+    :func:`repro.observe.export.write_run`.  Rows are computed exactly
+    as in the untraced path, so campaign artifacts do not change when
+    tracing is requested.
+    """
+    from repro import observe
+
+    with observe.tracing(True):
+        system = _web_system(spec)
+        result = run_webserver(
+            ft_mode=spec.ft_mode,
+            n_requests=spec.n_requests,
+            concurrency=spec.concurrency,
+            n_workers=spec.n_workers,
+            with_faults=spec.n_faults > 0,
+            n_faults=spec.n_faults,
+            seed=run_seed,
+            max_steps=spec.max_steps,
+            system=system,
+            warn_shortfall=False,
+        )
+        row = _row_from_result(run_seed, result)
+        recorder = system.kernel.recorder
+        metrics = recorder.metrics
+        for stat in (
+            "invocations", "upcalls", "faults_vectored", "micro_reboots",
+            "steps", "interp_fast_runs", "interp_slow_runs",
+            "trace_cache_hits", "trace_cache_misses", "budget_exhausted",
+        ):
+            metrics.counter(stat).inc(system.kernel.stats[stat])
+        metrics.counter("runs").inc()
+        record = {
+            "fingerprint": spec.fingerprint(),
+            "run_seed": run_seed,
+            "service": "webserver",
+            "ft_mode": spec.ft_mode,
+            # Web-server faults are armed on serving progress, not at a
+            # seed-drawn trace execution; the horizon is the request
+            # stream itself.
+            "injection_point": 0,
+            "horizon": spec.n_requests,
+            "outcome": row["outcome"],
+            "steps": result.steps,
+            "events": recorder.events(),
+            "dropped_events": recorder.dropped,
+            "metrics": metrics.to_dict(),
+        }
+    return row, record
+
+
+def _init_web_worker(spec: WebRunSpec) -> None:
+    """Process-pool initializer: compile + boot/seal before chunks land."""
+    if spec.ft_mode == "superglue":
+        compile_all_interfaces()
+    from repro.observe import tracing_enabled
+
+    if pooling_enabled() and not tracing_enabled():
+        GLOBAL_POOL.acquire(
+            ft_mode=spec.ft_mode,
+            recovery_mode=spec.recovery_mode,
+            prepare=prepare_webserver,
+        )
+
+
+def _execute_web_chunk(
+    spec: WebRunSpec, seeds: List[int], trace: bool = False
+) -> List[Tuple[int, Dict[str, object], Optional[dict]]]:
+    """Worker entry point: one chunk of runs -> (seed, row, record|None)."""
+    results: List[Tuple[int, Dict[str, object], Optional[dict]]] = []
+    for seed in seeds:
+        if trace:
+            row, record = execute_web_run_traced(spec, seed)
+        else:
+            row, record = execute_web_run(spec, seed), None
+        results.append((seed, row, record))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Campaign aggregation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WebCampaignResult:
+    """A finished Fig. 7 campaign: per-seed rows plus the aggregate."""
+
+    spec: WebRunSpec
+    seeds: List[int]
+    rows: List[Dict[str, object]]
+    aggregate: Dict[str, object]
+    #: Wall-clock split (sidecar-only: the artifact stays deterministic).
+    setup_wall: float = 0.0
+    exec_wall: float = 0.0
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The deterministic campaign artifact (no wall-clock anywhere)."""
+        return {
+            "fingerprint": self.spec.fingerprint(),
+            "spec": {
+                "ft_mode": self.spec.ft_mode,
+                "n_requests": self.spec.n_requests,
+                "concurrency": self.spec.concurrency,
+                "n_workers": self.spec.n_workers,
+                "n_faults": self.spec.n_faults,
+                "max_steps": self.spec.max_steps,
+                "recovery_mode": self.spec.recovery_mode,
+            },
+            "seeds": list(self.seeds),
+            "rows": self.rows,
+            "aggregate": self.aggregate,
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write the artifact plus a ``.timing.json`` wall-clock sidecar."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json_dict(), handle, indent=2)
+            handle.write("\n")
+        with open(path + ".timing.json", "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "runs": len(self.rows),
+                    "setup_wall": self.setup_wall,
+                    "exec_wall": self.exec_wall,
+                },
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+
+
+def aggregate_rows(
+    spec: WebRunSpec, rows: Sequence[Dict[str, object]]
+) -> Dict[str, object]:
+    """Campaign aggregate from per-seed rows.
+
+    Integer sums plus quantiles over the merged latency histogram —
+    every operation is order-independent, so the aggregate is identical
+    however the rows were executed.
+    """
+    merged: Dict[str, object] = {}
+    for row in rows:
+        merge_metrics(merged, row["metrics"])
+    totals = {
+        name: sum(row[name] for row in rows)
+        for name in (
+            "requests", "served", "errors", "duration_cycles", "reboots",
+            "faults_armed", "faults_delivered", "dips", "steps",
+        )
+    }
+    outcomes: Dict[str, int] = {}
+    for row in rows:
+        outcomes[row["outcome"]] = outcomes.get(row["outcome"], 0) + 1
+    duration = totals["duration_cycles"]
+    aggregate: Dict[str, object] = {
+        "runs": len(rows),
+        "outcomes": dict(sorted(outcomes.items())),
+        **totals,
+        "crashed_runs": sum(1 for row in rows if row["crashed"] is not None),
+        "throughput_rps": (
+            totals["served"] / (duration / (CYCLES_PER_US * 1e6))
+            if duration
+            else 0.0
+        ),
+        "metrics": canonical_metrics(merged),
+    }
+    latency_hist = merged.get("histograms", {}).get(
+        "request_latency_cycles", {}
+    )
+    for name, q in QUANTILES:
+        aggregate[f"latency_{name}_cycles"] = (
+            histogram_quantile(latency_hist, q) if latency_hist else None
+        )
+    return aggregate
+
+
+def run_webserver_campaign(
+    seeds: Sequence[int],
+    spec: Optional[WebRunSpec] = None,
+    workers: Optional[int] = None,
+    trace: Optional[str] = None,
+    progress=None,
+) -> WebCampaignResult:
+    """Fan faulted web-server runs over ``seeds`` and aggregate them.
+
+    ``workers=None`` uses one process per CPU; ``workers=1`` (or a
+    single seed) runs in-process.  Rows are merged in ``seeds`` order
+    whatever the completion order, so for a given schedule the artifact
+    is byte-identical across worker counts, and — because rows derive
+    from virtual-time outcomes only — across pooling modes.  ``trace``
+    names a flight-recorder JSONL artifact: every run then executes
+    traced (bypassing the pool) and the parent writes run records in
+    seed order plus one summary line.
+    """
+    spec = spec or WebRunSpec()
+    if workers is None:
+        workers = default_workers()
+    seeds = list(seeds)
+    tracing = trace is not None
+    setup_start = time.perf_counter()
+    rows_by_seed: Dict[int, Dict[str, object]] = {}
+    records: Dict[int, dict] = {}
+
+    def note(batch) -> None:
+        for run_seed, row, record in batch:
+            rows_by_seed[run_seed] = row
+            if record is not None:
+                records[run_seed] = record
+            if progress is not None:
+                progress(len(rows_by_seed), len(seeds), row)
+
+    exec_start = time.perf_counter()
+    fan_out_chunks(
+        functools.partial(_execute_web_chunk, spec, trace=tracing),
+        seeds,
+        workers,
+        initializer=_init_web_worker,
+        initargs=(spec,),
+        on_batch=note,
+    )
+    exec_end = time.perf_counter()
+    rows = [rows_by_seed[seed] for seed in seeds]
+    if tracing:
+        _export_web_trace(trace, spec, seeds, rows, records)
+    return WebCampaignResult(
+        spec=spec,
+        seeds=seeds,
+        rows=rows,
+        aggregate=aggregate_rows(spec, rows),
+        setup_wall=exec_start - setup_start,
+        exec_wall=exec_end - exec_start,
+    )
+
+
+def _export_web_trace(
+    path: str,
+    spec: WebRunSpec,
+    seeds: Sequence[int],
+    rows: Sequence[Dict[str, object]],
+    records: Dict[int, dict],
+) -> None:
+    """Parent-side trace export in seed order (serial == parallel)."""
+    merged_metrics: Dict[str, object] = {}
+    with open(path, "a", encoding="utf-8") as handle:
+        for seed in seeds:
+            record = records.get(seed)
+            if record is None:
+                continue
+            trace_export.write_run(handle, record)
+            merge_metrics(merged_metrics, record["metrics"])
+        tally: Dict[str, int] = {}
+        for row in rows:
+            tally[row["outcome"]] = tally.get(row["outcome"], 0) + 1
+        trace_export.write_summary(
+            handle,
+            fingerprint=spec.fingerprint(),
+            runs=len(seeds),
+            replayed=0,
+            outcomes=tally,
+            metrics=canonical_metrics(merged_metrics),
+        )
+
+
+def format_web_campaign(result: WebCampaignResult) -> str:
+    """Human summary of a Fig. 7 campaign (deterministic: no wall clock)."""
+    spec = result.spec
+    agg = result.aggregate
+    lines = [
+        f"Fig. 7 campaign  {spec.fingerprint()}",
+        (
+            f"  runs: {agg['runs']}  requests: {agg['requests']}  "
+            f"served: {agg['served']}  errors: {agg['errors']}"
+        ),
+        (
+            f"  faults: {agg['faults_delivered']}/{agg['faults_armed']} "
+            f"delivered/armed  reboots: {agg['reboots']}  "
+            f"dips: {agg['dips']}  crashed runs: {agg['crashed_runs']}"
+        ),
+        f"  throughput: {agg['throughput_rps']:,.0f} req/s (virtual)",
+    ]
+    quants = "  ".join(
+        f"{name}={agg[f'latency_{name}_cycles']}"
+        for name, __ in QUANTILES
+    )
+    lines.append(f"  latency cycles: {quants}")
+    lines.append("  outcomes:")
+    for outcome, count in agg["outcomes"].items():
+        lines.append(f"    {outcome:<24} {count}")
+    return "\n".join(lines)

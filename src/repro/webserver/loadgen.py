@@ -11,11 +11,13 @@ time.
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.composite.scheduler import CYCLES_PER_US
 from repro.composite.thread import Invoke, Yield
+from repro.errors import SystemHang
 from repro.swifi.injector import SwifiController
 from repro.system import build_system
 from repro.webserver.http import build_request
@@ -37,8 +39,20 @@ class LoadResult:
     reboots: int
     ft_mode: str
     faults_injected: int = 0
+    #: How many faults were actually armed.  Under stalled progress the
+    #: injection schedule can arm fewer than requested; reporting only
+    #: deliveries would let under-injection masquerade as a clean run.
+    faults_armed: int = 0
+    #: Scheduler steps consumed by the run.
+    steps: int = 0
+    #: Terminal condition when the run did not complete cleanly:
+    #: ``"hang"`` (deadlock), ``"<kind>:<component>"`` (unrecovered
+    #: fault), ``"exhausted"`` (step budget), else ``None``.
+    crashed: Optional[str] = None
     #: (clock, served) progress samples.
     series: List[Tuple[int, int]] = field(default_factory=list)
+    #: Per-request latency in virtual cycles, completion order.
+    latencies: List[int] = field(default_factory=list)
 
     @property
     def duration_us(self) -> float:
@@ -52,18 +66,22 @@ class LoadResult:
         return self.served / (self.duration_cycles / (CYCLES_PER_US * 1e6))
 
     def dip_recovery_cycles(self, window: int = 50) -> Optional[int]:
-        """How long throughput stayed depressed after the worst dip.
+        """How long throughput stayed depressed around the worst dip.
 
-        Computes per-window inter-arrival gaps; returns the longest gap
-        (the recovery disturbance).  None if there were no samples.
+        Slides a ``window``-completion window over the progress series
+        and returns the widest virtual-time span any window covers — the
+        recovery disturbance: a micro-reboot mid-run stretches the
+        windows that straddle it.  ``window=2`` degenerates to the
+        single worst inter-completion gap.  Returns ``None`` when fewer
+        than ``window`` samples exist (a span over a partial window
+        would understate the disturbance).
         """
-        if len(self.series) < 2:
+        if window < 2 or len(self.series) < window:
             return None
-        gaps = [
-            self.series[i + 1][0] - self.series[i][0]
-            for i in range(len(self.series) - 1)
-        ]
-        return max(gaps) if gaps else None
+        return max(
+            self.series[i + window - 1][0] - self.series[i][0]
+            for i in range(len(self.series) - window + 1)
+        )
 
 
 class LoadGenerator:
@@ -87,7 +105,11 @@ class LoadGenerator:
                 yield Yield()
             sent = 0
             while sent < self.n_requests:
-                if len(server.pending) >= self.concurrency:
+                # ab's "10 concurrent" bounds *outstanding* requests:
+                # submitted and not yet responded to, whether queued or
+                # in a worker.  Counting only the queue let up to
+                # concurrency + n_workers requests be in flight.
+                if server.outstanding >= self.concurrency:
                     yield Yield()
                     continue
                 server.submit(build_request("/" + next(paths)))
@@ -116,6 +138,8 @@ def run_webserver(
     n_faults: int = 6,
     seed: int = 0,
     max_steps: int = 5_000_000,
+    system=None,
+    warn_shortfall: bool = True,
 ) -> LoadResult:
     """Build a system, serve ``n_requests``, and measure throughput.
 
@@ -123,8 +147,14 @@ def run_webserver(
     each targeting the next service in :data:`FAULT_TARGET_CYCLE` — the
     paper's "one crash injected every 10 seconds into a different
     system-level component", rescaled to the simulated run length.
+
+    ``system`` lets callers (the pooled campaign path) supply a
+    pre-built system; the web-server application components must already
+    be registered on it (see
+    :func:`repro.webserver.server.register_webserver_components`).
     """
-    system = build_system(ft_mode=ft_mode)
+    if system is None:
+        system = build_system(ft_mode=ft_mode)
     server = WebServer(system, home="app0", n_workers=n_workers)
     server.install()
     generator = LoadGenerator(
@@ -133,6 +163,7 @@ def run_webserver(
     generator.install(system, server)
 
     swifi = None
+    armed = {"count": 0}
     if with_faults:
         swifi = SwifiController(system.kernel, seed=seed)
         gap = max(n_requests // (n_faults + 1), 1)
@@ -147,11 +178,29 @@ def run_webserver(
                 target = next(targets, None)
                 if target is not None:
                     swifi.arm(target, after_executions=0)
+                    armed["count"] += 1
 
         server.on_served = arm_on_progress
 
-    system.run(max_steps=max_steps)
-    end = server.samples[-1][0] if server.samples else system.kernel.clock.now
+    crashed: Optional[str] = None
+    try:
+        steps = system.run(max_steps=max_steps)
+    except SystemHang:
+        crashed = "hang"
+        steps = 0
+    kernel = system.kernel
+    if crashed is None:
+        if kernel.crashed is not None:
+            crashed = f"{kernel.crashed.kind}:{kernel.crashed.component}"
+        elif kernel.budget_exhausted:
+            crashed = "exhausted"
+    if with_faults and warn_shortfall and armed["count"] < n_faults:
+        print(
+            f"run_webserver: armed only {armed['count']}/{n_faults} faults "
+            f"(progress stalled at {server.served}/{n_requests} served)",
+            file=sys.stderr,
+        )
+    end = server.samples[-1][0] if server.samples else kernel.clock.now
     return LoadResult(
         requests=n_requests,
         served=server.served,
@@ -160,5 +209,9 @@ def run_webserver(
         reboots=system.booter.reboots,
         ft_mode=ft_mode,
         faults_injected=len(swifi.delivered) if swifi else 0,
+        faults_armed=armed["count"],
+        steps=steps,
+        crashed=crashed,
         series=server.samples,
+        latencies=server.latencies,
     )

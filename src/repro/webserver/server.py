@@ -15,7 +15,8 @@ that the stub-tracking overhead lands in the paper's measured range
 
 from __future__ import annotations
 
-from typing import Dict, List
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.composite.thread import Invoke, Yield
 from repro.webserver.components import (
@@ -34,12 +35,27 @@ MM_RECYCLE_PERIOD = 64
 #: Housekeeping timer period in cycles.
 HOUSEKEEPING_PERIOD = 400_000
 
-#: Static site content installed into RamFS at startup.
-DEFAULT_SITE: Dict[str, bytes] = {
-    "index.html": b"<html><body><h1>COMPOSITE web server</h1></body></html>",
-    "about.html": b"<html><body>Interface-driven recovery demo.</body></html>",
-    "data.bin": bytes(range(64)),
-}
+#: A completion-to-completion gap above this many virtual cycles counts
+#: as a throughput dip.  Fault-free serving (two workers pipelining
+#: ~11.6k-cycle requests, plus housekeeping) peaks at ~23k-cycle gaps;
+#: a micro-reboot plus descriptor recovery stretches a gap past 26k.
+#: Dips are recorded on the server (:attr:`WebServer.dips`) and, when
+#: tracing is on, emitted as ``throughput_dip`` flight-recorder events.
+DIP_THRESHOLD_CYCLES = 24_000
+
+
+def register_webserver_components(kernel) -> None:
+    """Register the web server's own application components.
+
+    Idempotent, and deliberately separate from :meth:`WebServer.install`
+    so the system pool can register (and seal) the components once per
+    process while each pooled run installs only fresh threads.
+    """
+    if "httpparse" not in kernel.components:
+        kernel.register_component(HttpParserComponent())
+    if "connmgr" not in kernel.components:
+        kernel.register_component(ConnectionManagerComponent())
+    kernel.grant_all_caps()
 
 
 class WebServer:
@@ -54,8 +70,13 @@ class WebServer:
         self.system = system
         self.home = home
         self.n_workers = n_workers
-        self.pending: List[bytes] = []
+        #: Queued-but-unclaimed requests as ``(rid, submit_clock, raw)``.
+        #: A deque: workers consume from the head, and with tens of
+        #: thousands of requests a ``list.pop(0)`` made the worker loop
+        #: O(queue) per request.
+        self.pending: Deque[Tuple[int, int, bytes]] = deque()
         self.responses: List[bytes] = []
+        self.submitted = 0
         self.served = 0
         self.errors = 0
         self.evt_conn = None
@@ -64,20 +85,34 @@ class WebServer:
         self.stopping = False
         #: (virtual clock, served count) samples for the time series.
         self.samples: List[tuple] = []
+        #: (virtual clock, submitted count) samples — with
+        #: :attr:`samples` this reconstructs the outstanding-request
+        #: count at every instant of the run.
+        self.submit_samples: List[tuple] = []
+        #: Per-request latency in virtual cycles (submit -> response),
+        #: in completion order.
+        self.latencies: List[int] = []
+        #: (clock, gap_cycles) for every completion-to-completion gap
+        #: above :data:`DIP_THRESHOLD_CYCLES`.
+        self.dips: List[Tuple[int, int]] = []
+        self._last_done_clock: Optional[int] = None
         #: Optional hook invoked with the served count after each request
         #: (used by the fault-injection variant of the load generator).
         self.on_served = None
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Requests submitted but not yet responded to (ab's "concurrent
+        requests"): queued ones plus those being processed by workers."""
+        return self.submitted - self.served
 
     # ------------------------------------------------------------------
     def install(self) -> None:
         kernel = self.system.kernel
         # The request path's own components (the paper's web server is
         # decomposed into many separate components).
-        if "httpparse" not in kernel.components:
-            kernel.register_component(HttpParserComponent())
-        if "connmgr" not in kernel.components:
-            kernel.register_component(ConnectionManagerComponent())
-        kernel.grant_all_caps()
+        register_webserver_components(kernel)
         kernel.create_thread(
             "ws-init", prio=3, home=self.home, body_factory=self._init_body
         )
@@ -94,6 +129,8 @@ class WebServer:
     # ------------------------------------------------------------------
     def _init_body(self, system, thread):
         """Set up the site content and the shared server resources."""
+        from repro.webserver.server import DEFAULT_SITE  # noqa: F401 (doc)
+
         self.stats_lock = yield Invoke("lock", "lock_alloc", self.home)
         self.evt_conn = yield Invoke("event", "evt_split", self.home, 0, 7)
         for name, body in DEFAULT_SITE.items():
@@ -120,11 +157,13 @@ class WebServer:
                     continue
             if not self.pending:
                 continue
-            raw = self.pending.pop(0)
-            response = yield from self._handle(kernel, raw)
+            rid, submitted_at, raw = self.pending.popleft()
+            status, response = yield from self._handle(kernel, raw)
             self.responses.append(response)
             self.served += 1
-            self.samples.append((kernel.clock.now, self.served))
+            now = kernel.clock.now
+            self.samples.append((now, self.served))
+            self._note_completion(kernel, rid, status, now, submitted_at)
             if self.on_served is not None:
                 self.on_served(self.served)
             handled += 1
@@ -135,12 +174,39 @@ class WebServer:
                 if got == va:
                     yield Invoke("mm", "mman_release_page", self.home, va)
 
+    def _note_completion(
+        self, kernel, rid: int, status: int, now: int, submitted_at: int
+    ) -> None:
+        """Record latency and throughput-dip bookkeeping for one response."""
+        latency = now - submitted_at
+        self.latencies.append(latency)
+        gap = None
+        if self._last_done_clock is not None:
+            gap = now - self._last_done_clock
+            if gap > DIP_THRESHOLD_CYCLES:
+                self.dips.append((now, gap))
+        self._last_done_clock = now
+        recorder = kernel.recorder
+        if recorder.enabled:
+            recorder.emit(
+                "request_done", rid=rid, status=status, latency_cycles=latency
+            )
+            recorder.metrics.histogram("request_latency_cycles").observe(
+                latency
+            )
+            if gap is not None and gap > DIP_THRESHOLD_CYCLES:
+                recorder.emit(
+                    "throughput_dip", gap_cycles=gap, served=self.served
+                )
+                recorder.metrics.histogram("dip_gap_cycles").observe(gap)
+
     def _handle(self, kernel, raw: bytes):
         """Drive the request through the component pipeline.
 
         connmgr (accept) -> httpparse (parse) -> lock (shared stats) ->
         ramfs (content) -> connmgr (account + close), plus fixed
-        application work for routing/formatting.
+        application work for routing/formatting.  Returns ``(status,
+        response_bytes)``.
         """
         kernel.charge(kernel.current, APP_REQUEST_CYCLES)
         conn_id = yield Invoke("connmgr", "conn_open", "client")
@@ -148,7 +214,7 @@ class WebServer:
         if request is None:
             self.errors += 1
             yield Invoke("connmgr", "conn_close", conn_id)
-            return build_response(400, b"bad request")
+            return 400, build_response(400, b"bad request")
         name = request.path.lstrip("/") or "index.html"
         # Shared connection-table update under the stats lock.
         yield Invoke("lock", "lock_take", self.home, self.stats_lock)
@@ -158,13 +224,13 @@ class WebServer:
         if fd is None:
             self.errors += 1
             yield Invoke("connmgr", "conn_close", conn_id)
-            return build_response(404, b"not found")
+            return 404, build_response(404, b"not found")
         yield Invoke("ramfs", "tseek", self.home, fd, 0)
         body = yield Invoke(
             "ramfs", "tread", self.home, fd, len(DEFAULT_SITE[name])
         )
         yield Invoke("connmgr", "conn_close", conn_id)
-        return build_response(200, body)
+        return 200, build_response(200, body)
 
     # ------------------------------------------------------------------
     def _housekeeping_body(self, system, thread):
@@ -179,8 +245,25 @@ class WebServer:
     # ------------------------------------------------------------------
     # Load-generator interface
     # ------------------------------------------------------------------
-    def submit(self, raw: bytes) -> None:
-        self.pending.append(raw)
+    def submit(self, raw: bytes) -> int:
+        """Enqueue one raw request; returns its request id."""
+        rid = self.submitted
+        now = self.system.kernel.clock.now
+        self.pending.append((rid, now, raw))
+        self.submitted += 1
+        self.submit_samples.append((now, self.submitted))
+        recorder = self.system.kernel.recorder
+        if recorder.enabled:
+            recorder.emit("request_start", rid=rid, queued=len(self.pending))
+        return rid
 
     def stop(self) -> None:
         self.stopping = True
+
+
+#: Static site content installed into RamFS at startup.
+DEFAULT_SITE: Dict[str, bytes] = {
+    "index.html": b"<html><body><h1>COMPOSITE web server</h1></body></html>",
+    "about.html": b"<html><body>Interface-driven recovery demo.</body></html>",
+    "data.bin": bytes(range(64)),
+}

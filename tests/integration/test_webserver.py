@@ -1,10 +1,13 @@
 """Integration tests for the componentized web server (Fig. 7 workload)."""
 
+from collections import deque
+
 import pytest
 
 from repro.webserver.apache_model import ApacheModel
 from repro.webserver.http import build_request, build_response, parse_request
 from repro.webserver.loadgen import LoadResult, run_webserver
+from repro.webserver.server import WebServer
 
 
 class TestHttp:
@@ -112,3 +115,149 @@ class TestLoadResult:
         )
         assert result.throughput_rps == 0.0
         assert result.dip_recovery_cycles() is None
+
+    def test_latencies_recorded_per_request(self):
+        result = run_webserver(ft_mode="superglue", n_requests=100)
+        assert len(result.latencies) == 100
+        assert all(latency > 0 for latency in result.latencies)
+
+
+class TestDipWindow:
+    """``dip_recovery_cycles`` must honor its ``window`` argument.
+
+    Regression: the parameter used to be accepted and ignored — every
+    call returned the single worst inter-completion gap.
+    """
+
+    @staticmethod
+    def _result_with_clocks(clocks):
+        return LoadResult(
+            requests=len(clocks), served=len(clocks), errors=0,
+            duration_cycles=clocks[-1] if clocks else 0,
+            reboots=0, ft_mode="none",
+            series=[(clock, i + 1) for i, clock in enumerate(clocks)],
+        )
+
+    def test_window_two_is_worst_single_gap(self):
+        result = self._result_with_clocks([0, 1, 2, 12, 13, 14])
+        assert result.dip_recovery_cycles(window=2) == 10
+
+    def test_wider_windows_span_the_dip(self):
+        result = self._result_with_clocks([0, 1, 2, 12, 13, 14])
+        # Worst 3-completion span straddles the 10-cycle gap: 12 - 1.
+        assert result.dip_recovery_cycles(window=3) == 11
+        assert result.dip_recovery_cycles(window=6) == 14
+
+    def test_none_when_fewer_samples_than_window(self):
+        result = self._result_with_clocks([0, 5])
+        assert result.dip_recovery_cycles(window=3) is None
+        assert result.dip_recovery_cycles() is None  # default window=50
+        assert result.dip_recovery_cycles(window=2) == 5
+
+    def test_degenerate_window_returns_none(self):
+        result = self._result_with_clocks([0, 1, 2])
+        assert result.dip_recovery_cycles(window=1) is None
+        assert result.dip_recovery_cycles(window=0) is None
+
+    def test_window_widens_span_on_a_real_run(self):
+        result = run_webserver(ft_mode="superglue", n_requests=120)
+        narrow = result.dip_recovery_cycles(window=2)
+        wide = result.dip_recovery_cycles(window=20)
+        assert narrow is not None and wide is not None
+        assert narrow < wide
+
+
+class TestConcurrencyBound:
+    """ab's "10 concurrent" bounds *outstanding* requests.
+
+    Regression: the generator used to bound the unclaimed queue, letting
+    up to ``concurrency + n_workers`` requests be in flight at once.
+    Outstanding only ever grows at ``submit``, so spying there checks
+    the invariant at every scheduler step.
+    """
+
+    @staticmethod
+    def _spy_on_submit(monkeypatch):
+        outstanding_at_submit = []
+        original = WebServer.submit
+
+        def spying(self, raw):
+            outstanding_at_submit.append(self.outstanding)
+            return original(self, raw)
+
+        monkeypatch.setattr(WebServer, "submit", spying)
+        return outstanding_at_submit
+
+    def test_outstanding_never_exceeds_concurrency(self, monkeypatch):
+        seen = self._spy_on_submit(monkeypatch)
+        run_webserver(ft_mode="superglue", n_requests=150, concurrency=10)
+        assert len(seen) == 150
+        assert max(seen) <= 9  # after the submit: <= concurrency
+
+    def test_bound_holds_under_faults(self, monkeypatch):
+        seen = self._spy_on_submit(monkeypatch)
+        run_webserver(
+            ft_mode="superglue", n_requests=150, concurrency=10,
+            with_faults=True, seed=3,
+        )
+        assert max(seen) <= 9
+
+    def test_concurrency_one_serializes(self, monkeypatch):
+        # Two workers must not let a second request in flight.
+        seen = self._spy_on_submit(monkeypatch)
+        run_webserver(
+            ft_mode="none", n_requests=60, concurrency=1, n_workers=2
+        )
+        assert max(seen) == 0
+
+
+class TestFaultAccounting:
+    """Armed vs delivered faults are reported separately.
+
+    Regression: only deliveries were counted, so a stalled injection
+    schedule (fewer faults armed than requested) looked like a clean
+    low-fault run.
+    """
+
+    def test_armed_reported_and_bounds_delivered(self):
+        result = run_webserver(
+            ft_mode="superglue", n_requests=300, with_faults=True, seed=3
+        )
+        assert result.faults_armed >= result.faults_injected
+        assert 1 <= result.faults_armed <= 6
+
+    def test_shortfall_warns_on_stderr(self, capsys):
+        result = run_webserver(
+            ft_mode="superglue", n_requests=40,
+            with_faults=True, n_faults=50, seed=1,
+        )
+        assert result.faults_armed < 50
+        assert "armed only" in capsys.readouterr().err
+
+    def test_shortfall_warning_suppressible(self, capsys):
+        run_webserver(
+            ft_mode="superglue", n_requests=40,
+            with_faults=True, n_faults=50, seed=1, warn_shortfall=False,
+        )
+        assert "armed only" not in capsys.readouterr().err
+
+
+class TestQueueDiscipline:
+    def test_pending_queue_is_a_deque(self):
+        # Regression: a list popped from the head made the worker loop
+        # O(queue length) per request.
+        from repro.system import build_system
+
+        server = WebServer(build_system(ft_mode="none"))
+        assert isinstance(server.pending, deque)
+
+    def test_service_wait_queues_are_deques(self):
+        # Same audit for the other head-popped queues on the request
+        # path: lock and event wait queues.
+        from repro.composite.services.event import _EventState
+        from repro.composite.services.lock import _LockState
+
+        assert isinstance(_LockState().waiters, deque)
+        assert isinstance(
+            _EventState(parent=0, grp=0, creator="app0").waiters, deque
+        )

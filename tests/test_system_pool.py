@@ -48,7 +48,8 @@ class TestRestoreEqualsFresh:
                               recovery_mode=spec.recovery_mode)
         snapshot = pool._snapshots[(spec.ft_mode,
                                     tuple(system.apps),
-                                    spec.recovery_mode)]
+                                    spec.recovery_mode,
+                                    None)]
         # Dirty the pooled system with real injection runs, then restore.
         from repro.swifi.injector import SwifiController
         from repro.workloads import workload_for

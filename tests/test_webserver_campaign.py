@@ -1,0 +1,242 @@
+"""Tests for the multi-seed Fig. 7 web-server campaign engine."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.observe.export import read_trace
+from repro.webserver.campaign import (
+    WebRunSpec,
+    aggregate_rows,
+    execute_web_run,
+    format_web_campaign,
+    histogram_quantile,
+    run_webserver_campaign,
+    web_run_seeds,
+)
+
+#: Small but faulted: every run still exercises injection + recovery.
+SMOKE_SPEC = WebRunSpec(n_requests=40, n_faults=2)
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram(self):
+        assert histogram_quantile({"count": 0, "buckets": {}}, 0.5) is None
+        assert histogram_quantile({}, 0.5) is None
+
+    def test_single_bucket_clamps_to_observed_max(self):
+        hist = {"count": 3, "buckets": {"7": 3}, "max": 100}
+        # Bucket 7's upper bound is 127; the observed max tightens it.
+        assert histogram_quantile(hist, 0.5) == 100
+
+    def test_rank_walks_buckets_in_numeric_order(self):
+        hist = {"count": 4, "buckets": {"3": 2, "10": 2}, "max": 900}
+        assert histogram_quantile(hist, 0.25) == 7
+        assert histogram_quantile(hist, 0.50) == 7
+        assert histogram_quantile(hist, 0.75) == 900  # min(1023, 900)
+
+    def test_zero_bucket(self):
+        hist = {"count": 2, "buckets": {"0": 2}, "max": 0}
+        assert histogram_quantile(hist, 0.99) == 0
+
+
+class TestSpec:
+    def test_seed_schedule_matches_swifi_stride(self):
+        assert web_run_seeds(1, 3) == [1_000_003, 1_000_004, 1_000_005]
+        assert web_run_seeds(2, 1) == [2_000_006]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WebRunSpec(n_requests=0)
+        with pytest.raises(ValueError):
+            WebRunSpec(concurrency=0)
+
+    def test_fingerprint_distinguishes_specs(self):
+        assert WebRunSpec(ft_mode="c3").fingerprint() != SMOKE_SPEC.fingerprint()
+        assert WebRunSpec(n_requests=41, n_faults=2).fingerprint() != (
+            SMOKE_SPEC.fingerprint()
+        )
+
+
+class TestRows:
+    def test_row_shape_and_invariants(self):
+        row = execute_web_run(SMOKE_SPEC, web_run_seeds(1, 1)[0])
+        for key in (
+            "run_seed", "outcome", "requests", "served", "errors",
+            "duration_cycles", "reboots", "faults_armed", "faults_delivered",
+            "steps", "crashed", "throughput_rps", "dips", "dip_max_cycles",
+            "dip_recovery_cycles", "metrics",
+        ):
+            assert key in row
+        assert row["served"] <= row["requests"]
+        assert row["faults_delivered"] <= row["faults_armed"]
+        assert (
+            row["latency_p50_cycles"]
+            <= row["latency_p95_cycles"]
+            <= row["latency_p99_cycles"]
+        )
+
+    def test_run_is_pure_function_of_spec_and_seed(self):
+        seed = web_run_seeds(1, 1)[0]
+        assert execute_web_run(SMOKE_SPEC, seed) == execute_web_run(
+            SMOKE_SPEC, seed
+        )
+
+
+class TestDeterminism:
+    def test_serial_equals_parallel(self):
+        seeds = web_run_seeds(1, 4)
+        serial = run_webserver_campaign(seeds, SMOKE_SPEC, workers=1)
+        parallel = run_webserver_campaign(seeds, SMOKE_SPEC, workers=2)
+        assert serial.to_json_dict() == parallel.to_json_dict()
+
+    def test_pooled_equals_fresh(self, monkeypatch):
+        seeds = web_run_seeds(2, 3)
+        pooled = run_webserver_campaign(seeds, SMOKE_SPEC, workers=1)
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "0")
+        fresh = run_webserver_campaign(seeds, SMOKE_SPEC, workers=1)
+        assert pooled.to_json_dict() == fresh.to_json_dict()
+
+    def test_pool_restores_match_fresh_builds(self, monkeypatch):
+        # REPRO_POOL_DEBUG diffs every restored system against a fresh
+        # build (including the prepare-hook components) and raises on
+        # any structural divergence.
+        monkeypatch.setenv("REPRO_POOL_DEBUG", "1")
+        for seed in web_run_seeds(3, 3):
+            execute_web_run(SMOKE_SPEC, seed)
+
+    def test_aggregate_is_order_independent(self):
+        result = run_webserver_campaign(
+            web_run_seeds(1, 3), SMOKE_SPEC, workers=1
+        )
+        reversed_rows = list(reversed(result.rows))
+        assert aggregate_rows(SMOKE_SPEC, reversed_rows) == result.aggregate
+
+    def test_progress_reports_every_run(self):
+        seen = []
+        run_webserver_campaign(
+            web_run_seeds(1, 3), SMOKE_SPEC, workers=1,
+            progress=lambda i, n, row: seen.append((i, n)),
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestAggregate:
+    def test_sums_and_quantiles(self):
+        result = run_webserver_campaign(
+            web_run_seeds(1, 3), SMOKE_SPEC, workers=1
+        )
+        agg = result.aggregate
+        assert agg["runs"] == 3
+        assert agg["requests"] == 3 * SMOKE_SPEC.n_requests
+        assert agg["served"] == sum(row["served"] for row in result.rows)
+        assert sum(agg["outcomes"].values()) == 3
+        assert agg["latency_p50_cycles"] <= agg["latency_p99_cycles"]
+        # The merged histogram holds every served request's latency.
+        hist = agg["metrics"]["histograms"]["request_latency_cycles"]
+        assert hist["count"] == agg["served"]
+
+    def test_format_mentions_key_figures(self):
+        result = run_webserver_campaign(
+            web_run_seeds(1, 2), SMOKE_SPEC, workers=1
+        )
+        text = format_web_campaign(result)
+        assert "Fig. 7 campaign" in text
+        assert SMOKE_SPEC.fingerprint() in text
+        assert "p50=" in text and "p99=" in text
+
+
+class TestTrace:
+    def test_traced_campaign_exports_and_rows_unchanged(self, tmp_path):
+        seeds = web_run_seeds(4, 2)
+        trace = str(tmp_path / "fig7.jsonl")
+        traced = run_webserver_campaign(
+            seeds, SMOKE_SPEC, workers=1, trace=trace
+        )
+        plain = run_webserver_campaign(seeds, SMOKE_SPEC, workers=1)
+        # Tracing must not perturb the campaign artifact.
+        assert traced.to_json_dict() == plain.to_json_dict()
+
+        lines = list(read_trace(trace, validate=True))
+        runs = [obj for obj in lines if obj["type"] == "run"]
+        assert [run["run_seed"] for run in runs] == seeds
+        assert all(run["service"] == "webserver" for run in runs)
+        events = {
+            obj["event"] for obj in lines if obj["type"] == "event"
+        }
+        assert {"request_start", "request_done"} <= events
+        summaries = [obj for obj in lines if obj["type"] == "summary"]
+        assert len(summaries) == 1
+        assert summaries[0]["runs"] == len(seeds)
+
+    def test_dip_events_appear_when_reboots_happen(self, tmp_path):
+        # Pick a seed schedule long enough that recovery stretches at
+        # least one completion gap past the dip threshold.
+        seeds = web_run_seeds(1, 2)
+        spec = WebRunSpec(n_requests=120, n_faults=3)
+        trace = str(tmp_path / "dips.jsonl")
+        result = run_webserver_campaign(seeds, spec, workers=1, trace=trace)
+        assert result.aggregate["reboots"] > 0
+        assert result.aggregate["dips"] > 0
+        events = [
+            obj for obj in read_trace(trace, validate=True)
+            if obj["type"] == "event" and obj["event"] == "throughput_dip"
+        ]
+        assert events
+        assert all(
+            e["data"]["gap_cycles"] > 0 and e["data"]["served"] > 0
+            for e in events
+        )
+
+
+class TestArtifacts:
+    def test_write_json_and_timing_sidecar(self, tmp_path):
+        result = run_webserver_campaign(
+            web_run_seeds(1, 2), SMOKE_SPEC, workers=1
+        )
+        path = tmp_path / "fig7.json"
+        result.write_json(str(path))
+        data = json.loads(path.read_text())
+        assert data == result.to_json_dict()
+        assert data["fingerprint"] == SMOKE_SPEC.fingerprint()
+        # Wall clock lives only in the sidecar: the artifact itself is
+        # deterministic.
+        assert "wall" not in path.read_text()
+        timing = json.loads((tmp_path / "fig7.json.timing.json").read_text())
+        assert timing["runs"] == 2
+
+
+class TestCli:
+    def test_fig7_campaign_json(self, tmp_path, capsys):
+        artifact = str(tmp_path / "fig7.json")
+        assert (
+            main(
+                [
+                    "fig7", "--seeds", "3", "--workers", "1",
+                    "--requests", "40", "--faults", "2",
+                    "--json", artifact,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fig. 7 campaign" in out
+        data = json.loads(open(artifact).read())
+        assert len(data["rows"]) == 3
+        assert data["aggregate"]["runs"] == 3
+
+    def test_fig7_campaign_matches_library_call(self, tmp_path, capsys):
+        artifact = str(tmp_path / "cli.json")
+        main(
+            [
+                "fig7", "--seeds", "2", "--workers", "1",
+                "--requests", "40", "--faults", "2", "--seed", "1",
+                "--json", artifact,
+            ]
+        )
+        capsys.readouterr()
+        direct = run_webserver_campaign(
+            web_run_seeds(1, 2), SMOKE_SPEC, workers=1
+        )
+        assert json.loads(open(artifact).read()) == direct.to_json_dict()
