@@ -4,7 +4,7 @@ PY ?= python3
 # Worker-pool size for the SWIFI campaign (0 = all CPUs).
 WORKERS ?= 0
 
-.PHONY: install test lint bench perf profile campaign fig7 fig7-campaign examples clean
+.PHONY: install test lint bench perf profile campaign fault-classes fig7 fig7-campaign examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -38,10 +38,27 @@ profile:
 
 # The paper-scale campaign (500 faults per service), fanned out over the
 # worker pool; aggregates are bit-identical to a serial run.
+# FAULT_CLASS selects the injected fault model (reg/mem/idl/burst).
+FAULT_CLASS ?= reg
 campaign:
 	REPRO_CAMPAIGN_FAULTS=500 REPRO_CAMPAIGN_WORKERS=$(WORKERS) \
+		REPRO_CAMPAIGN_FAULT_CLASS=$(FAULT_CLASS) \
 		$(PY) -m pytest \
 		benchmarks/bench_table2_campaign.py --benchmark-only -s
+
+# One 50-fault smoke column per fault class, each checked against its
+# committed baseline — the local equivalent of the nightly
+# `fault-classes` CI job.
+fault-classes:
+	workers=$(WORKERS); [ "$$workers" = "0" ] && workers=$$(nproc); \
+	for fc in reg mem idl burst; do \
+		PYTHONPATH=src $(PY) -m repro table2 --fault-class $$fc \
+			--faults 50 --seed 1 --workers $$workers \
+			--json /tmp/table2_$${fc}_smoke.json || exit 1; \
+		$(PY) scripts/check_table2_baseline.py \
+			/tmp/table2_$${fc}_smoke.json \
+			benchmarks/baselines/table2_$${fc}_smoke.json || exit 1; \
+	done
 
 fig7:
 	$(PY) -m repro fig7 --requests 2000

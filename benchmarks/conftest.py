@@ -11,6 +11,9 @@ Environment knobs:
 * ``REPRO_CAMPAIGN_WORKERS`` — process-pool size for the Table II bench
   (default 1 = in-process serial; set 0 for all CPUs).  Aggregates are
   bit-identical across worker counts.
+* ``REPRO_CAMPAIGN_FAULT_CLASS`` — fault class for the Table II bench
+  (default ``reg``; one of reg/mem/idl/burst).  Each class has its own
+  outcome shape, so the bench's assertions adapt to the class.
 * ``REPRO_WS_REQUESTS`` — requests for the Fig. 7 bench (default 800; the
   paper uses 50000).
 """
@@ -19,10 +22,18 @@ import os
 
 import pytest
 
+from repro.swifi.injector import FAULT_CLASSES
+
 CAMPAIGN_FAULTS = int(os.environ.get("REPRO_CAMPAIGN_FAULTS", "100"))
 CAMPAIGN_WORKERS = int(os.environ.get("REPRO_CAMPAIGN_WORKERS", "1"))
 if CAMPAIGN_WORKERS <= 0:
     CAMPAIGN_WORKERS = os.cpu_count() or 1
+CAMPAIGN_FAULT_CLASS = os.environ.get("REPRO_CAMPAIGN_FAULT_CLASS", "reg")
+if CAMPAIGN_FAULT_CLASS not in FAULT_CLASSES:
+    raise ValueError(
+        f"REPRO_CAMPAIGN_FAULT_CLASS={CAMPAIGN_FAULT_CLASS!r} "
+        f"not one of {FAULT_CLASSES}"
+    )
 WS_REQUESTS = int(os.environ.get("REPRO_WS_REQUESTS", "800"))
 
 
@@ -34,6 +45,11 @@ def campaign_faults():
 @pytest.fixture(scope="session")
 def campaign_workers():
     return CAMPAIGN_WORKERS
+
+
+@pytest.fixture(scope="session")
+def campaign_fault_class():
+    return CAMPAIGN_FAULT_CLASS
 
 
 @pytest.fixture(scope="session")

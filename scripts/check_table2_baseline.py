@@ -4,11 +4,13 @@
 Usage:  python scripts/check_table2_baseline.py ARTIFACT BASELINE
 
 ARTIFACT is the output of ``python -m repro table2 --json PATH`` (one
-dict per table row); BASELINE is
-``benchmarks/baselines/table2_smoke.json``.  Exits non-zero if any
-service's activation ratio or recovery success rate drifts outside its
-recorded band, if propagation exceeds its cap, or if a service is
-missing from the artifact.
+dict per table row); BASELINE is one of
+``benchmarks/baselines/table2_<class>_smoke.json`` (the plain
+``table2_smoke.json`` covers the default register class).  Exits
+non-zero if any service's activation ratio or recovery success rate
+drifts outside its recorded band, if propagation exceeds its cap, if a
+service is missing from the artifact, or if the artifact's fault class
+does not match the baseline's.
 """
 
 import json
@@ -22,11 +24,17 @@ def check(artifact_path: str, baseline_path: str) -> int:
         baseline = json.load(handle)
 
     failures = []
+    fault_class = baseline.get("fault_class", "reg")
     for service, bounds in baseline["bounds"].items():
         row = rows.get(service)
         if row is None:
             failures.append(f"{service}: missing from artifact")
             continue
+        row_class = row.get("fault_class", "reg")
+        if row_class != fault_class:
+            failures.append(
+                f"{service}: fault_class {row_class!r} != {fault_class!r}"
+            )
         expected = baseline["faults_per_service"]
         if row["injected"] != expected:
             failures.append(

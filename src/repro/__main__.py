@@ -2,9 +2,11 @@
 
 Commands:
 
-* ``table2 [--faults N] [--mode MODE] [--workers N] [--resume PATH]
-  [--json PATH] [--trace PATH]`` — the SWIFI campaign (Table II), fanned
-  out over a process pool with a resumable JSONL journal; ``--trace``
+* ``table2 [--faults N] [--mode MODE] [--fault-class CLASS] [--workers N]
+  [--resume PATH] [--json PATH] [--trace PATH]`` — the SWIFI campaign
+  (Table II), fanned out over a process pool with a resumable JSONL
+  journal; ``--fault-class`` selects the fault model (register SEUs,
+  memory bit flips, IDL fuzzing, correlated bursts); ``--trace``
   additionally records every run under the flight recorder and exports
   the event journals + metrics as a JSONL trace artifact
 * ``trace PATH [--run SEED] [--full] [--validate]`` — render a recorded
@@ -50,8 +52,8 @@ def _cmd_table2(args) -> int:
             print(f"cannot write --trace {args.trace}: {exc}", file=sys.stderr)
             return 1
     print(
-        f"SWIFI campaign: {args.faults} faults per service "
-        f"({args.mode} stubs, {args.workers} worker(s))"
+        f"SWIFI campaign: {args.faults} {args.fault_class} faults per "
+        f"service ({args.mode} stubs, {args.workers} worker(s))"
     )
     results = run_full_campaign(
         n_faults=args.faults,
@@ -60,6 +62,7 @@ def _cmd_table2(args) -> int:
         workers=args.workers,
         journal=args.resume,
         trace=args.trace,
+        fault_class=args.fault_class,
     )
     print(format_table2(results))
     setup_wall = sum(r.setup_wall for r in results)
@@ -297,6 +300,13 @@ def main(argv=None) -> int:
     p = sub.add_parser("table2", help="SWIFI fault-injection campaign")
     p.add_argument("--faults", type=int, default=100)
     p.add_argument("--mode", choices=("superglue", "c3"), default="superglue")
+    p.add_argument(
+        "--fault-class",
+        choices=("reg", "mem", "idl", "burst"),
+        default="reg",
+        help="fault model: register SEUs (default), memory-image bit "
+        "flips, IDL-boundary fuzzing, or correlated bursts",
+    )
     p.add_argument("--seed", type=int, default=1)
     p.add_argument(
         "--workers",

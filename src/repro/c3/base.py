@@ -55,14 +55,22 @@ class C3ClientStubBase:
 
     # -- kernel contract -----------------------------------------------------
     def invoke(self, kernel, thread, fn: str, args: Tuple):
+        # SWIFI IDL-boundary fuzzing interposes on C^3 stubs too: the
+        # fault class targets the interface surface, not a stub flavour.
+        swifi = kernel.swifi
+        if swifi is not None:
+            args = swifi.filter_idl_args(self.server, fn, args)
         method = getattr(self, f"c3_{fn}", None)
         if method is None:
             result = kernel.raw_invoke(thread, self.server, fn, args)
             if result is FAULT:
                 self.fault_update(kernel, thread)
                 return self.invoke(kernel, thread, fn, args)
-            return result
-        return method(kernel, thread, *args)
+        else:
+            result = method(kernel, thread, *args)
+        if swifi is not None:
+            result = swifi.filter_idl_ret(self.server, fn, result)
+        return result
 
     def post_unblock(self, kernel, thread, fn: str, args: Tuple, value):
         """Per-service completion tracking for blocking calls."""

@@ -163,6 +163,31 @@ class MemoryImage:
         """Has the page holding word ``index`` been written?"""
         return self._dirty[index >> PAGE_SHIFT] != 0
 
+    def dirty_page_indices(self) -> List[int]:
+        """Page numbers written since the last freeze/restore, ascending.
+
+        These are the *hot* pages — the fault injector's memory class
+        draws its flip targets from them, and a pooled restore copies
+        exactly this set back from the good image.
+        """
+        dirty = self._dirty
+        return [page for page in range(len(dirty)) if dirty[page]]
+
+    def modified_word_offsets(self, page: int) -> List[int]:
+        """Word offsets in ``page`` whose value differs from the good image.
+
+        These are the *live* words — records and stack slots the workload
+        actually changed.  Empty when no good image is frozen yet, or
+        when every write to the page restored the boot-time value.
+        """
+        if self._good_words is None:
+            return []
+        lo = page << PAGE_SHIFT
+        hi = min(lo + PAGE_WORDS, self.size)
+        words = self.words
+        good = self._good_words
+        return [i for i in range(lo, hi) if words[i] != good[i]]
+
     def _copy_back_dirty_pages(self) -> int:
         """Copy dirty pages back from the good image; returns the count.
 

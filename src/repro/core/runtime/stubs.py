@@ -117,6 +117,12 @@ class ClientStubRuntime:
     # Entry point from the kernel
     # ------------------------------------------------------------------
     def invoke(self, kernel, thread, fn: str, args: Tuple):
+        # SWIFI's IDL-boundary fuzz class interposes here: the stub (and
+        # the server behind it) sees the corrupted arguments exactly as
+        # if the client had passed them.
+        swifi = kernel.swifi
+        if swifi is not None:
+            args = swifi.filter_idl_args(self.server, fn, args)
         method = getattr(self, f"stub_{fn}", None)
         if method is None:
             # Functions outside the IDL pass through untracked.
@@ -124,8 +130,11 @@ class ClientStubRuntime:
             if result is FAULT:
                 self.fault_update(kernel, thread)
                 return self.invoke(kernel, thread, fn, args)
-            return result
-        return method(kernel, thread, *args)
+        else:
+            result = method(kernel, thread, *args)
+        if swifi is not None:
+            result = swifi.filter_idl_ret(self.server, fn, result)
+        return result
 
     # ------------------------------------------------------------------
     # Pieces used by generated per-function methods

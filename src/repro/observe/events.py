@@ -46,6 +46,10 @@ EVENT_FIELDS: Dict[str, FrozenSet[str]] = {
     "swifi_inject": frozenset(
         {"component", "reg", "bit", "op_index", "trace_len", "label"}
     ),
+    "swifi_mem_inject": frozenset(
+        {"component", "addr", "bit", "page", "page_dirty"}
+    ),
+    "swifi_idl_inject": frozenset({"server", "fn", "target", "index", "bit"}),
     # -- web-server request path ----------------------------------------
     "request_start": frozenset({"rid", "queued"}),
     "request_done": frozenset({"rid", "status", "latency_cycles"}),
@@ -61,6 +65,9 @@ EVENT_FIELDS: Dict[str, FrozenSet[str]] = {
 #: Per-event optional fields (present only when known at emit time).
 OPTIONAL_FIELDS: Dict[str, FrozenSet[str]] = {
     "fault_vectored": frozenset({"detection_latency"}),
+    # Non-register fault classes annotate the arm event; the plain reg
+    # class keeps its original shape.
+    "swifi_arm": frozenset({"fault_class", "burst_k", "burst_window"}),
 }
 
 #: Invocation-span completion statuses (``invoke_end.status``).

@@ -54,6 +54,7 @@ def run_header(record: Dict[str, object]) -> Dict[str, object]:
         "run_seed": record["run_seed"],
         "service": record["service"],
         "ft_mode": record["ft_mode"],
+        "fault_class": record.get("fault_class", "reg"),
         "injection_point": record["injection_point"],
         "horizon": record["horizon"],
         "outcome": record["outcome"],

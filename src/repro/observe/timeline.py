@@ -66,15 +66,46 @@ def _describe(event: Dict[str, object]) -> str:
             f"(sid {d['sid']}, {d['cycles']} cyc)"
         )
     if name == "swifi_arm":
+        fault_class = d.get("fault_class", "reg")
+        if fault_class == "mem":
+            return (
+                f"swifi-arm     {d['component']}: memory bit flip after "
+                f"{d['after_executions']} trace execution(s)"
+            )
+        if fault_class == "idl":
+            return (
+                f"swifi-arm     {d['component']}: IDL-boundary fuzz after "
+                f"{d['after_executions']} stub invocation(s)"
+            )
+        burst = (
+            f" (burst k={d['burst_k']}, window {d['burst_window']} cyc)"
+            if fault_class == "burst"
+            else ""
+        )
         return (
             f"swifi-arm     {d['component']}: flip {_reg_name(d['reg'])} "
-            f"bit {d['bit']} after {d['after_executions']} trace execution(s)"
+            f"bit {d['bit']} after {d['after_executions']} trace "
+            f"execution(s){burst}"
         )
     if name == "swifi_inject":
         return (
             f"SWIFI INJECT  {d['component']}: flipped {_reg_name(d['reg'])} "
             f"bit {d['bit']} at op {d['op_index']}/{d['trace_len']} "
             f"in trace '{d['label']}'"
+        )
+    if name == "swifi_mem_inject":
+        hot = "hot (dirty)" if d["page_dirty"] else "cold"
+        return (
+            f"SWIFI INJECT  {d['component']}: flipped bit {d['bit']} of "
+            f"word {d['addr']:#x} ({hot} page {d['page']})"
+        )
+    if name == "swifi_idl_inject":
+        where = (
+            f"arg {d['index']}" if d["target"] == "arg" else "return value"
+        )
+        return (
+            f"SWIFI INJECT  {d['server']}.{d['fn']}: flipped bit {d['bit']} "
+            f"of {where} at the IDL boundary"
         )
     if name == "request_start":
         return f"request       #{d['rid']} queued (depth {d['queued']})"
@@ -108,10 +139,12 @@ def render_run_timeline(
     run: Dict[str, object], include: Optional[set] = None
 ) -> str:
     """The per-run timeline, one stamped line per event."""
+    fault_class = run.get("fault_class", "reg")
+    class_tag = f" fault_class={fault_class}" if fault_class != "reg" else ""
     lines = [
         (
             f"run seed={run['run_seed']} service={run['service']} "
-            f"ft_mode={run['ft_mode']} outcome={run['outcome']}"
+            f"ft_mode={run['ft_mode']}{class_tag} outcome={run['outcome']}"
         ),
         (
             f"  injection point: trace execution #{run['injection_point']} "
@@ -193,6 +226,8 @@ def _render_metrics(metrics: Dict[str, object]) -> List[str]:
 RECOVERY_EVENTS = {
     "swifi_arm",
     "swifi_inject",
+    "swifi_mem_inject",
+    "swifi_idl_inject",
     "fault_vectored",
     "micro_reboot_begin",
     "micro_reboot_end",

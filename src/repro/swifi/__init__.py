@@ -8,13 +8,14 @@ from repro.swifi.campaign import (
     run_full_campaign,
 )
 from repro.swifi.classify import OUTCOMES, Outcome
-from repro.swifi.injector import SwifiController
+from repro.swifi.injector import FAULT_CLASSES, SwifiController
 from repro.swifi.parallel import CampaignJournal, default_workers, run_campaign
 
 __all__ = [
     "CampaignJournal",
     "CampaignResult",
     "CampaignRunner",
+    "FAULT_CLASSES",
     "OUTCOMES",
     "Outcome",
     "RunSpec",

@@ -1,13 +1,15 @@
 """Fault-injection campaign driver (Section V-D, Table II).
 
-For each target service, a campaign injects ``n_faults`` single-event
-upsets, one per run: the system is built fresh (the paper reboots the
-machine between runs "to clear any residual errors"), the service's
-workload is installed, an SEU is armed to fire at a random point of the
-workload's execution inside the target component, and the run is driven
-to completion.  Each injection is then classified per Table II's outcome
-taxonomy, and a campaign aggregates activation ratio and recovery success
-rate.
+For each target service, a campaign injects ``n_faults`` faults, one per
+run: the system is built fresh (the paper reboots the machine between
+runs "to clear any residual errors"), the service's workload is
+installed, a fault of the campaign's class — register SEU, memory-image
+bit flip, IDL-boundary corruption, or correlated burst (see
+:data:`~repro.swifi.injector.FAULT_CLASSES`) — is armed to fire at a
+random point of the workload's execution against the target, and the run
+is driven to completion.  Each injection is then classified per Table
+II's outcome taxonomy, and a campaign aggregates activation ratio and
+recovery success rate per fault class.
 
 Every run is self-deterministic: its injection point is derived from the
 run seed alone (``random.Random(run_seed).randrange(horizon)``), so a
@@ -25,10 +27,10 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import SimulatedFault, SystemHang
+from repro.errors import ReproError, SimulatedFault, SystemHang
 from repro.observe import tracing_enabled
 from repro.swifi.classify import Outcome, OutcomeCounter
-from repro.swifi.injector import SwifiController
+from repro.swifi.injector import FAULT_CLASSES, SwifiController
 from repro.system import GLOBAL_POOL, build_system, pooling_enabled
 from repro.workloads import workload_for
 
@@ -56,6 +58,7 @@ class RunSpec:
     iterations: int
     horizon: int
     recovery_mode: str = "ondemand"
+    fault_class: str = "reg"
 
     def __post_init__(self) -> None:
         # A zero/negative horizon used to be silently masked to 1 by
@@ -68,12 +71,17 @@ class RunSpec:
                 f"empty injection horizon means the workload never "
                 f"executes in {self.service!r}"
             )
+        if self.fault_class not in FAULT_CLASSES:
+            raise ValueError(
+                f"unknown fault class {self.fault_class!r} "
+                f"(expected one of {FAULT_CLASSES})"
+            )
 
     def fingerprint(self) -> str:
         """Stable identity string, used to match journal entries."""
         return (
             f"{self.service}/{self.ft_mode}/it{self.iterations}"
-            f"/h{self.horizon}/{self.recovery_mode}"
+            f"/h{self.horizon}/{self.recovery_mode}/{self.fault_class}"
         )
 
 
@@ -95,7 +103,7 @@ def execute_run(spec: RunSpec, run_seed: int) -> Outcome:
     Module-level (picklable) so a :class:`ProcessPoolExecutor` worker can
     execute it from a submitted ``(spec, seeds)`` chunk.
     """
-    outcome, __, __, __ = _drive_run(spec, run_seed)
+    outcome, __, __, __, __ = _drive_run(spec, run_seed)
     return outcome
 
 
@@ -114,7 +122,7 @@ def execute_run_traced(spec: RunSpec, run_seed: int):
     from repro import observe
 
     with observe.tracing(True):
-        outcome, system, swifi, steps = _drive_run(spec, run_seed)
+        outcome, system, swifi, steps, __ = _drive_run(spec, run_seed)
         recorder = system.kernel.recorder
         metrics = recorder.metrics
         # Fold the kernel's whole-run counters into the per-run registry
@@ -133,6 +141,7 @@ def execute_run_traced(spec: RunSpec, run_seed: int):
             "run_seed": run_seed,
             "service": spec.service,
             "ft_mode": spec.ft_mode,
+            "fault_class": spec.fault_class,
             "injection_point": injection_point(run_seed, spec.horizon),
             "horizon": spec.horizon,
             "outcome": outcome.value,
@@ -162,16 +171,27 @@ def _campaign_system(ft_mode: str, recovery_mode: str):
     return build_system(ft_mode=ft_mode, recovery_mode=recovery_mode)
 
 
+def _arm_for_class(swifi: SwifiController, spec: RunSpec, point: int) -> None:
+    """Arm the spec's fault class at the derived injection point."""
+    if spec.fault_class == "reg":
+        swifi.arm(spec.service, after_executions=point)
+    elif spec.fault_class == "mem":
+        swifi.arm_mem(spec.service, after_executions=point)
+    elif spec.fault_class == "idl":
+        swifi.arm_idl(spec.service, after_invocations=point)
+    elif spec.fault_class == "burst":
+        swifi.arm_burst(spec.service, after_executions=point)
+    else:  # pragma: no cover - RunSpec validates the class
+        raise ValueError(f"unknown fault class {spec.fault_class!r}")
+
+
 def _drive_run(spec: RunSpec, run_seed: int):
     """Boot (or pool-restore) a system, inject per the spec, run it."""
     system = _campaign_system(spec.ft_mode, spec.recovery_mode)
     swifi = SwifiController(system.kernel, seed=run_seed)
     workload = workload_for(spec.service)
     handle = workload.install(system, iterations=spec.iterations)
-    swifi.arm(
-        spec.service,
-        after_executions=injection_point(run_seed, spec.horizon),
-    )
+    _arm_for_class(swifi, spec, injection_point(run_seed, spec.horizon))
     crash: Optional[BaseException] = None
     steps = 0
     try:
@@ -180,10 +200,19 @@ def _drive_run(spec: RunSpec, run_seed: int):
         crash = hang
     except SimulatedFault as fault:
         crash = fault
+    except ReproError as error:
+        # Fuzzed interface values (idl) and mid-recovery re-faults
+        # (burst) can surface library-level contract violations that are
+        # not SimulatedFaults — e.g. an InvalidDescriptor escaping every
+        # recovery tier, or a RecoveryError from a replay that keeps
+        # re-faulting.  Those are real not-recovered outcomes of the
+        # fault, not harness bugs: classify them instead of killing the
+        # whole campaign.
+        crash = error
     if system.kernel.crashed is not None and crash is None:
         crash = system.kernel.crashed
     outcome = classify_run(spec.ft_mode, system, swifi, handle, crash, steps)
-    return outcome, system, swifi, steps
+    return outcome, system, swifi, steps, handle
 
 
 def classify_run(ft_mode, system, swifi, handle, crash, steps) -> Outcome:
@@ -223,6 +252,7 @@ class CampaignResult:
     counter: OutcomeCounter
     seed: int
     ft_mode: str
+    fault_class: str = "reg"
     #: Wall-clock split: calibration + spec construction vs run
     #: execution.  Deliberately *not* part of :meth:`row` — the Table II
     #: artifact must stay bit-identical across machines and pooling
@@ -238,6 +268,7 @@ class CampaignResult:
         c = self.counter
         return {
             "component": self.service,
+            "fault_class": self.fault_class,
             "injected": c.injected,
             "recovered": c.recovered,
             "not_recovered_segfault": c.count(Outcome.NOT_RECOVERED_SEGFAULT),
@@ -260,6 +291,7 @@ class CampaignRunner:
         iterations: int = DEFAULT_ITERATIONS,
         seed: int = 0,
         recovery_mode: str = "ondemand",
+        fault_class: str = "reg",
     ):
         self.service = service
         self.ft_mode = ft_mode
@@ -267,17 +299,22 @@ class CampaignRunner:
         self.iterations = iterations
         self.seed = seed
         self.recovery_mode = recovery_mode
+        self.fault_class = fault_class
         self.workload = workload_for(service)
         self._horizon: Optional[int] = None
 
     # ------------------------------------------------------------------
     def calibrate(self) -> int:
-        """Dry run: count trace executions inside the target component.
+        """Dry run: measure the campaign's injection horizon.
 
-        The injection point is drawn uniformly from this horizon, which
-        models the paper's periodic injection timer landing at a uniformly
-        random instant of the workload's execution in the target.  Runs
-        once per campaign; workers receive the result via the RunSpec.
+        For trace-delivered classes (reg, mem, burst) the horizon is the
+        number of trace executions inside the target component; for the
+        idl class it is the number of client-stub invocations of the
+        target server.  The injection point is drawn uniformly from this
+        horizon, which models the paper's periodic injection timer
+        landing at a uniformly random instant of the workload's
+        execution against the target.  Runs once per campaign; workers
+        receive the result via the RunSpec.
         """
         system = _campaign_system(self.ft_mode, self.recovery_mode)
         swifi = SwifiController(system.kernel, seed=0)
@@ -288,7 +325,11 @@ class CampaignRunner:
                 f"workload {self.workload.name} fails without faults: "
                 f"{handle.results}"
             )
-        self._horizon = max(swifi.trace_counts.get(self.service, 1), 1)
+        if self.fault_class == "idl":
+            observed = swifi.invoke_counts.get(self.service, 1)
+        else:
+            observed = swifi.trace_counts.get(self.service, 1)
+        self._horizon = max(observed, 1)
         return self._horizon
 
     def spec(self) -> RunSpec:
@@ -301,6 +342,7 @@ class CampaignRunner:
             iterations=self.iterations,
             horizon=self._horizon,
             recovery_mode=self.recovery_mode,
+            fault_class=self.fault_class,
         )
 
     def run_seeds(self) -> List[int]:
@@ -352,6 +394,7 @@ class CampaignRunner:
             counter=counter,
             seed=self.seed,
             ft_mode=self.ft_mode,
+            fault_class=self.fault_class,
             setup_wall=exec_start - setup_start,
             exec_wall=exec_end - exec_start,
         )
@@ -365,21 +408,26 @@ def run_full_campaign(
     workers: Optional[int] = None,
     journal: Optional[str] = None,
     trace: Optional[str] = None,
+    fault_class: str = "reg",
 ) -> List[CampaignResult]:
     """Reproduce Table II: one campaign per target service.
 
-    One journal file covers the whole multi-service campaign: entries
-    carry the run spec's fingerprint, so each service resumes only its
-    own completed runs.  Likewise one ``trace`` artifact accumulates the
-    flight-recorder export of every service's campaign (each appends its
-    runs and a per-campaign summary line).
+    ``fault_class`` selects the injected fault model (one of
+    :data:`~repro.swifi.injector.FAULT_CLASSES`) — each class is its own
+    campaign column with its own outcome distribution.  One journal file
+    covers the whole multi-service campaign: entries carry the run
+    spec's fingerprint (which includes the fault class), so each service
+    resumes only its own completed runs.  Likewise one ``trace``
+    artifact accumulates the flight-recorder export of every service's
+    campaign (each appends its runs and a per-campaign summary line).
     """
     from repro.idl_specs import SERVICES
 
     results = []
     for service in services or SERVICES:
         runner = CampaignRunner(
-            service, ft_mode=ft_mode, n_faults=n_faults, seed=seed
+            service, ft_mode=ft_mode, n_faults=n_faults, seed=seed,
+            fault_class=fault_class,
         )
         results.append(runner.run(workers=workers, journal=journal, trace=trace))
     return results

@@ -1,8 +1,36 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.system import build_system, compile_all_interfaces
+
+# Hypothesis profiles, selected via HYPOTHESIS_PROFILE:
+#   ci      — derandomized: PR checks are reproducible and flake-free;
+#             the example corpus is fixed, so a red run is a real bug.
+#   nightly — randomized with a larger example budget: the nightly
+#             campaign workflow spends fresh entropy hunting for inputs
+#             the derandomized corpus can't reach.  Failures upload the
+#             .hypothesis example database as an artifact.
+#   dev     — local default: randomized, no deadline (pooled system
+#             boots make first examples slow).
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "nightly",
+    derandomize=False,
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,141 @@
+"""Differential properties of the multi-class fault engine.
+
+Two invariants, checked across every fault class with hypothesis-drawn
+seeds:
+
+1. **Determinism** — a run's outcome is a pure function of ``(spec,
+   run_seed)``; executing the same run twice (through the pooled system
+   path) yields the same Table II outcome.
+2. **Recovered ≡ fault-free** — a run classified RECOVERED left the
+   workload in a state indistinguishable from a fault-free execution:
+   the handle's correctness check passes and its observable results
+   (progress counters, minus descriptor identities that recovery may
+   legitimately renumber) match a fault-free reference run.
+
+Plus a memory-level differential: an injector-style tainted flip is
+always fully undone by the dirty-page restore, whatever else was
+written around it.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.composite.memory import MemoryImage
+from repro.swifi.campaign import (
+    MAX_STEPS,
+    CampaignRunner,
+    _drive_run,
+    execute_run,
+)
+from repro.swifi.classify import Outcome
+from repro.swifi.injector import FAULT_CLASSES
+from repro.system import build_system
+from repro.workloads import workload_for
+
+BASE = 0x0300_0000
+SERVICE = "lock"
+ITERATIONS = 3
+
+#: Descriptor / thread identities that a successful recovery may
+#: renumber without violating the workload specification.
+_IDENTITY_KEYS = frozenset({"lid", "evtid", "tmid", "tid_a", "tid_b"})
+
+_spec_cache = {}
+_reference = {}
+
+
+def _spec(fault_class):
+    """Calibrated RunSpec for SERVICE, cached per fault class."""
+    spec = _spec_cache.get(fault_class)
+    if spec is None:
+        runner = CampaignRunner(
+            SERVICE,
+            ft_mode="superglue",
+            iterations=ITERATIONS,
+            fault_class=fault_class,
+        )
+        spec = runner.spec()
+        _spec_cache[fault_class] = spec
+    return spec
+
+
+def _observable(results):
+    return {k: v for k, v in results.items() if k not in _IDENTITY_KEYS}
+
+
+def _fault_free_results():
+    """Observable results of one fault-free run (cached)."""
+    if "ref" not in _reference:
+        system = build_system(ft_mode="superglue")
+        handle = workload_for(SERVICE).install(system, iterations=ITERATIONS)
+        system.run(max_steps=MAX_STEPS)
+        assert handle.check(), handle.results
+        _reference["ref"] = _observable(handle.results)
+    return _reference["ref"]
+
+
+@given(
+    fault_class=st.sampled_from(FAULT_CLASSES),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_outcome_is_pure_function_of_spec_and_seed(fault_class, seed):
+    spec = _spec(fault_class)
+    assert execute_run(spec, seed) == execute_run(spec, seed)
+
+
+@given(
+    fault_class=st.sampled_from(FAULT_CLASSES),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_recovered_state_equals_fault_free_state(fault_class, seed):
+    spec = _spec(fault_class)
+    outcome, system, swifi, steps, handle = _drive_run(spec, seed)
+    if outcome is Outcome.RECOVERED:
+        assert swifi.delivered_count > 0  # recovery implies a delivery
+        assert handle.check(), (fault_class, seed, handle.results)
+        assert _observable(handle.results) == _fault_free_results(), (
+            fault_class,
+            seed,
+        )
+    elif outcome is Outcome.UNDETECTED and swifi.delivered_count == 0:
+        # The fault never fired: the run *is* a fault-free run.
+        assert _observable(handle.results) == _fault_free_results()
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=16, max_value=1000),
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+        ),
+        max_size=20,
+    ),
+    flip_offset=st.integers(min_value=0, max_value=2047),
+    flip_bit=st.integers(min_value=0, max_value=31),
+)
+@settings(max_examples=50, deadline=None)
+def test_tainted_flip_always_undone_by_restore(writes, flip_offset, flip_bit):
+    image = MemoryImage(BASE, 2048)
+    for offset, value in writes[: len(writes) // 2]:
+        image.write_word(BASE + offset, value)
+    image.freeze_good_image()
+    frozen = list(image.words)
+    for offset, value in writes:
+        image.write_word(BASE + offset, value)
+    addr = BASE + flip_offset
+    image.write_word(addr, image.read_word(addr) ^ (1 << flip_bit),
+                     tainted=True)
+    assert image.taint_count == 1
+    image.restore()
+    assert list(image.words) == frozen
+    assert image.taint_count == 0
+    assert image.dirty_page_count == 0

@@ -1,0 +1,279 @@
+"""Tests for the multi-class fault engine (mem / idl / burst).
+
+Covers the ISSUE's mandated edge cases — a memory flip targeting a
+never-dirtied image, an IDL fuzz on a function carrying no integer
+arguments, and a burst window cut short by a micro-reboot's virtual-time
+cost — plus per-class campaign determinism and spec plumbing.
+"""
+
+import pytest
+
+from repro.composite.memory import MemoryImage, PAGE_WORDS
+from repro.errors import ReproError, SimulatedFault
+from repro.swifi.campaign import CampaignRunner, RunSpec, execute_run
+from repro.swifi.injector import (
+    BURST_K,
+    FAULT_CLASSES,
+    IdlFuzz,
+    MemFlip,
+    SwifiController,
+)
+from repro.system import build_system
+
+BASE = 0x0300_0000
+
+
+# ---------------------------------------------------------------------------
+# MemoryImage targeting helpers
+# ---------------------------------------------------------------------------
+class TestImageTargetingHelpers:
+    def test_dirty_page_indices_track_writes_since_freeze(self):
+        image = MemoryImage(BASE, 2048)
+        image.write_word(BASE + 20, 5)
+        image.freeze_good_image()
+        assert image.dirty_page_indices() == []
+        image.write_word(BASE + PAGE_WORDS + 44, 9)  # page 1
+        assert image.dirty_page_indices() == [1]
+
+    def test_modified_word_offsets_excludes_restored_values(self):
+        image = MemoryImage(BASE, 2048)
+        image.freeze_good_image()
+        offset = PAGE_WORDS + 44
+        image.write_word(BASE + offset, 9)
+        assert image.modified_word_offsets(1) == [offset]
+        # Writing the boot-time value back leaves the page dirty but the
+        # word is no longer *live* — it matches the good image again.
+        image.write_word(BASE + offset, 0)
+        assert image.dirty_page_indices() == [1]
+        assert image.modified_word_offsets(1) == []
+
+    def test_modified_word_offsets_empty_before_freeze(self):
+        image = MemoryImage(BASE, 2048)
+        image.write_word(BASE + 30, 1)
+        assert image.modified_word_offsets(0) == []
+
+
+# ---------------------------------------------------------------------------
+# mem: memory-image bit flips
+# ---------------------------------------------------------------------------
+class TestMemFlips:
+    def test_flip_on_never_dirtied_image_degrades_to_uniform(self):
+        # Edge case: the target image has no dirty pages at fire time
+        # (cold state) — the injector must still deliver, drawing the
+        # page uniformly instead of from the (empty) dirty set.
+        system = build_system(ft_mode="superglue")
+        image = system.kernel.component("lock").image
+        image.freeze_good_image()  # clears the dirty bitmap
+        assert image.dirty_page_count == 0
+        swifi = SwifiController(system.kernel, seed=11)
+        swifi.arm_mem("lock")
+        assert swifi.take_injection("lock", 8) is None
+        [flip] = swifi.delivered
+        assert isinstance(flip, MemFlip)
+        assert flip.page_dirty is False
+        assert image.is_tainted(flip.addr)
+        assert image.taint_count == 1
+
+    def test_flip_prefers_dirty_heap_page_and_live_word(self):
+        system = build_system(ft_mode="superglue")
+        image = system.kernel.component("lock").image
+        image.freeze_good_image()
+        # Dirty one heap word with a value that differs from boot.
+        addr = BASE if image.contains(BASE) else image.base + 40
+        image.write_word(addr, 0xDEAD)
+        swifi = SwifiController(system.kernel, seed=11)
+        swifi.arm_mem("lock")
+        swifi.take_injection("lock", 8)
+        [flip] = swifi.delivered
+        assert flip.page_dirty is True
+        assert flip.addr == addr  # the only live word on the only dirty page
+        assert image.read_word(addr) == 0xDEAD ^ (1 << flip.bit)
+
+    def test_mem_flip_is_one_shot(self):
+        system = build_system(ft_mode="superglue")
+        swifi = SwifiController(system.kernel, seed=3)
+        swifi.arm_mem("lock")
+        swifi.take_injection("lock", 8)
+        swifi.take_injection("lock", 8)
+        assert swifi.delivered_count == 1
+        assert swifi.pending is None
+
+    def test_pool_restore_undoes_mem_flip(self):
+        # The dirty-restore contract: a flip written tainted lands on a
+        # dirty page, so restore() provably removes both value and taint.
+        system = build_system(ft_mode="superglue")
+        image = system.kernel.component("lock").image
+        image.freeze_good_image()
+        frozen = list(image.words)
+        swifi = SwifiController(system.kernel, seed=7)
+        swifi.arm_mem("lock")
+        swifi.take_injection("lock", 8)
+        assert list(image.words) != frozen
+        image.restore()
+        assert list(image.words) == frozen
+        assert image.taint_count == 0
+
+
+# ---------------------------------------------------------------------------
+# idl: interface-boundary fuzzing
+# ---------------------------------------------------------------------------
+class TestIdlFuzz:
+    @staticmethod
+    def _stub_setup():
+        system = build_system(ft_mode="superglue")
+        kernel = system.kernel
+        thread = kernel.create_thread(
+            "t", prio=1, home="app0", body_factory=lambda s, t: iter(())
+        )
+        return system, kernel, thread, system.stub("app0", "lock")
+
+    def test_zero_int_arg_function_converts_to_ret_fuzz(self):
+        # Edge case: lock_alloc("app0") carries no integer argument, so
+        # the armed corruption must convert to a return-value flip
+        # instead of silently fizzling.
+        system, kernel, thread, stub = self._stub_setup()
+        swifi = SwifiController(kernel, seed=5)
+        swifi.arm_idl("lock")
+        lid = stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        [fuzz] = swifi.delivered
+        assert isinstance(fuzz, IdlFuzz)
+        assert fuzz.target == "ret" and fuzz.index == -1
+        # The caller-visible lid is the true descriptor with one bit
+        # flipped; un-flipping it recovers a valid table entry.
+        assert stub.table.lookup(lid ^ (1 << fuzz.bit)) is not None
+        assert swifi._idl_ret_pending is None  # one-shot
+
+    def test_int_arg_is_flipped_in_flight(self):
+        system, kernel, thread, stub = self._stub_setup()
+        swifi = SwifiController(kernel, seed=5)
+        lid = stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        swifi.arm_idl("lock")
+        try:
+            stub.invoke(kernel, thread, "lock_take", ("app0", lid))
+        except (ReproError, SimulatedFault):
+            pass  # a corrupted descriptor is allowed to fault
+        [fuzz] = swifi.delivered
+        assert fuzz.target == "arg"
+        assert fuzz.index == 1  # the lid, not the principal string
+
+    def test_unarmed_invocations_still_counted(self):
+        system, kernel, thread, stub = self._stub_setup()
+        swifi = SwifiController(kernel, seed=5)
+        stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        assert swifi.invoke_counts["lock"] == 1
+        assert swifi.delivered_count == 0
+
+    def test_arm_threshold_delays_delivery(self):
+        system, kernel, thread, stub = self._stub_setup()
+        swifi = SwifiController(kernel, seed=5)
+        swifi.arm_idl("lock", after_invocations=2)
+        stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        assert swifi.delivered_count == 0
+        stub.invoke(kernel, thread, "lock_alloc", ("app0",))
+        assert swifi.delivered_count == 1
+
+
+# ---------------------------------------------------------------------------
+# burst: correlated multi-flip faults
+# ---------------------------------------------------------------------------
+class TestBurst:
+    def test_follow_ups_cross_components_within_window(self):
+        system = build_system(ft_mode="superglue")
+        swifi = SwifiController(system.kernel, seed=7)
+        plan = swifi.arm_burst("lock", k=3, window=1_000_000)
+        assert plan.fault_class == "burst" and plan.burst_k == 3
+        assert swifi.take_injection("lock", 10) is not None
+        # Follow-up flips land in whichever component executes next.
+        assert swifi.take_injection("ramfs", 10) is not None
+        assert swifi.take_injection("mm", 10) is not None
+        assert swifi.take_injection("sched", 10) is None  # burst spent
+        assert swifi.delivered_count == 3
+
+    def test_window_straddling_micro_reboot_cancels_tail(self):
+        # Edge case: the burst window is virtual time, so a micro-reboot
+        # whose image-restore cost pushes the clock past the deadline
+        # cuts the burst short.
+        system = build_system(ft_mode="superglue")
+        kernel = system.kernel
+        image = kernel.component("lock").image
+        swifi = SwifiController(kernel, seed=7)
+        window = image.reboot_cost_cycles // 2  # reboot overshoots it
+        swifi.arm_burst("lock", k=BURST_K, window=window)
+        assert swifi.take_injection("lock", 10) is not None
+        assert swifi._burst_remaining == BURST_K - 1
+        kernel.clock.advance(image.reboot_cost_cycles)
+        assert swifi.take_injection("ramfs", 10) is None
+        assert swifi._burst_remaining == 0  # cancelled, not deferred
+        assert swifi.delivered_count == 1
+
+    def test_disarm_clears_burst_state(self):
+        system = build_system(ft_mode="superglue")
+        swifi = SwifiController(system.kernel, seed=7)
+        swifi.arm_burst("lock", k=3, window=1_000_000)
+        swifi.take_injection("lock", 10)
+        swifi.disarm()
+        assert swifi.take_injection("ramfs", 10) is None
+
+
+# ---------------------------------------------------------------------------
+# Campaign plumbing
+# ---------------------------------------------------------------------------
+class TestFaultClassCampaigns:
+    def test_run_spec_rejects_unknown_class(self):
+        with pytest.raises(ValueError):
+            RunSpec(
+                service="lock", ft_mode="superglue", iterations=4,
+                horizon=10, fault_class="alpha",
+            )
+
+    def test_fingerprint_distinguishes_classes(self):
+        specs = {
+            RunSpec(
+                service="lock", ft_mode="superglue", iterations=4,
+                horizon=10, fault_class=fc,
+            ).fingerprint()
+            for fc in FAULT_CLASSES
+        }
+        assert len(specs) == len(FAULT_CLASSES)
+
+    def test_execute_run_is_deterministic_per_class(self):
+        for fault_class in FAULT_CLASSES:
+            runner = CampaignRunner(
+                "lock", n_faults=1, iterations=3, fault_class=fault_class
+            )
+            spec = runner.spec()
+            assert execute_run(spec, 42) == execute_run(spec, 42)
+
+    @pytest.mark.parametrize("fault_class", FAULT_CLASSES)
+    def test_campaign_column_row_shape(self, fault_class):
+        runner = CampaignRunner(
+            "lock", n_faults=4, seed=3, iterations=3, fault_class=fault_class
+        )
+        result = runner.run(workers=1)
+        row = result.row()
+        assert row["fault_class"] == fault_class
+        assert row["injected"] == 4
+        outcomes = (
+            row["recovered"] + row["not_recovered_segfault"]
+            + row["not_recovered_propagated"] + row["not_recovered_other"]
+            + row["undetected"]
+        )
+        assert outcomes == 4
+
+    def test_idl_calibration_uses_invocation_horizon(self):
+        # The idl horizon counts client-stub invocations of the target,
+        # not trace executions: it must match a direct measurement of
+        # the fault-free workload's invocation count.
+        from repro.swifi.campaign import MAX_STEPS
+        from repro.workloads import workload_for
+
+        system = build_system(ft_mode="superglue")
+        swifi = SwifiController(system.kernel, seed=0)
+        workload_for("lock").install(system, iterations=3)
+        system.run(max_steps=MAX_STEPS)
+        observed = swifi.invoke_counts["lock"]
+        assert observed >= 1
+        idl = CampaignRunner("lock", n_faults=1, iterations=3,
+                             fault_class="idl")
+        assert idl.calibrate() == observed
