@@ -3,12 +3,14 @@
 
 Two measurements:
 
-* **campaign runs/sec** — the lock-service smoke campaign executed twice
-  through the real per-run entry point (``execute_run``): once with the
-  system pool enabled (boot once, dirty-restore per run) and once with
-  ``REPRO_SYSTEM_POOL=0`` (the old build-a-system-per-run behaviour).
-  Outcomes are asserted identical between the two sweeps — the speedup
-  is only meaningful if the pooled path is bit-exact.
+* **campaign runs/sec** — the lock-service smoke campaign executed three
+  times through the real per-run entry point (``execute_run``): with
+  ``REPRO_SYSTEM_POOL=0`` (the old build-a-system-per-run behaviour),
+  pooled with the super-trace engine disabled (``REPRO_SUPER_TRACE=0``,
+  the two-tier engine), and pooled with super-traces on (the full
+  tier-3 engine).  Outcomes are asserted identical across all three
+  sweeps — the speedups are only meaningful if the faster paths are
+  bit-exact.
 * **micro-reboot restore cost** — wall time of one ``MemoryImage``
   restore when a run dirtied a handful of pages (the SWIFI steady state)
   versus every page (the worst case, equivalent to the old whole-image
@@ -44,22 +46,39 @@ def _timed_sweep(spec, seeds) -> tuple:
     return time.perf_counter() - start, outcomes
 
 
+#: (label, REPRO_SYSTEM_POOL, REPRO_SUPER_TRACE) per sweep.
+SWEEPS = (
+    ("fresh", "0", "0"),
+    ("two_tier", "1", "0"),
+    ("pooled", "1", "1"),
+)
+
+
 def measure_campaign(n_faults: int, repeat: int = 3) -> dict:
-    """Runs/sec of the smoke campaign, pooled vs fresh-build-per-run."""
+    """Runs/sec of the smoke campaign: fresh vs pooled vs super-traced."""
+    from repro.swifi.campaign import _campaign_recording
+
     runner = CampaignRunner("lock", n_faults=n_faults, seed=1)
     spec = runner.spec()
     seeds = runner.run_seeds()
-    saved = os.environ.get("REPRO_SYSTEM_POOL")
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_SYSTEM_POOL", "REPRO_SUPER_TRACE")
+    }
     try:
         results = {}
-        for label, gate in (("fresh", "0"), ("pooled", "1")):
-            os.environ["REPRO_SYSTEM_POOL"] = gate
-            if gate == "1":
-                # Boot + seal outside the timed region, as the campaign
-                # worker initializer does.
+        for label, pool_gate, st_gate in SWEEPS:
+            os.environ["REPRO_SYSTEM_POOL"] = pool_gate
+            os.environ["REPRO_SUPER_TRACE"] = st_gate
+            if pool_gate == "1":
+                # Boot + seal (and, with super-traces on, record the
+                # clean invocation sequence) outside the timed region,
+                # as the campaign worker initializer does.
                 GLOBAL_POOL.acquire(
                     ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode
                 )
+                if st_gate == "1":
+                    _campaign_recording(spec)
             best, outcomes = float("inf"), None
             for __ in range(repeat):
                 elapsed, sweep = _timed_sweep(spec, seeds)
@@ -72,22 +91,28 @@ def measure_campaign(n_faults: int, repeat: int = 3) -> dict:
                     )
             results[label] = (best, outcomes)
     finally:
-        if saved is None:
-            os.environ.pop("REPRO_SYSTEM_POOL", None)
-        else:
-            os.environ["REPRO_SYSTEM_POOL"] = saved
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
     fresh_time, fresh_outcomes = results["fresh"]
-    pooled_time, pooled_outcomes = results["pooled"]
-    if pooled_outcomes != fresh_outcomes:
-        raise AssertionError(
-            "pooled sweep outcomes diverge from fresh-build outcomes; "
-            "the pool is not bit-exact — do not trust the speedup"
-        )
+    for label in ("two_tier", "pooled"):
+        if results[label][1] != fresh_outcomes:
+            raise AssertionError(
+                f"{label} sweep outcomes diverge from fresh-build "
+                f"outcomes; the fast path is not bit-exact — do not "
+                f"trust the speedup"
+            )
+    two_tier_time = results["two_tier"][0]
+    pooled_time = results["pooled"][0]
     return {
         "campaign_runs": len(seeds),
         "fresh_runs_per_sec": len(seeds) / fresh_time,
+        "two_tier_runs_per_sec": len(seeds) / two_tier_time,
         "pooled_runs_per_sec": len(seeds) / pooled_time,
         "pooled_over_fresh": fresh_time / pooled_time,
+        "super_trace_over_two_tier": two_tier_time / pooled_time,
     }
 
 
@@ -144,8 +169,11 @@ def main(argv=None) -> int:
     results = run_benchmark(args.faults, args.repeat)
     print(f"campaign runs/sweep    : {results['campaign_runs']}")
     print(f"fresh-build runs/sec   : {results['fresh_runs_per_sec']:,.0f}")
-    print(f"pooled runs/sec        : {results['pooled_runs_per_sec']:,.0f}")
+    print(f"two-tier pooled r/s    : {results['two_tier_runs_per_sec']:,.0f}")
+    print(f"super-traced runs/sec  : {results['pooled_runs_per_sec']:,.0f}")
     print(f"pooled/fresh speedup   : {results['pooled_over_fresh']:.2f}x")
+    print(f"super-trace/two-tier   : "
+          f"{results['super_trace_over_two_tier']:.2f}x")
     print(f"restore, sparse dirty  : {results['restore_sparse_us']:,.1f} us")
     print(f"restore, all pages     : {results['restore_full_us']:,.1f} us")
     if args.json:

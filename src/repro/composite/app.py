@@ -31,20 +31,22 @@ class AppComponent(Component):
     def pool_seal(self) -> None:
         self._sealed_handlers = dict(self._handlers)
 
-    def pool_restore(self) -> None:
+    def _pool_restore_impl(self) -> None:
         # reinit preserves handlers (apps are never micro-rebooted), so a
         # pooled restore reinstates the sealed registration set instead.
-        super().pool_restore()
+        super()._pool_restore_impl()
         self._handlers = dict(getattr(self, "_sealed_handlers", {}))
 
     def register_handler(self, fn: str, handler: Callable) -> None:
         """Expose ``handler`` as an upcall entry point named ``fn``."""
+        self._ran = True
         self._handlers[fn] = handler
 
     def dispatch(self, fn: str, thread, args):
         handler = self._handlers.get(fn)
         if handler is None:
             return super().dispatch(fn, thread, args)
+        self._ran = True
         return handler(thread, *args)
 
     @property

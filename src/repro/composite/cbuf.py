@@ -47,10 +47,10 @@ class CbufManager(Component):
         }
         self._sealed_next_id = self._next_id
 
-    def pool_restore(self) -> None:
+    def _pool_restore_impl(self) -> None:
         # Like storage, reinit preserves contents; pooled restores
         # reinstate deep copies of the sealed buffers instead.
-        super().pool_restore()
+        super()._pool_restore_impl()
         self.buffers = {}
         for cbid, (owner, data, readers) in getattr(
             self, "_sealed_buffers", {}

@@ -20,6 +20,7 @@ from repro.composite.fastpath import try_execute_fast
 from repro.composite.machine import (
     EBP,
     ESP,
+    WORD_MASK,
     Trace,
     TraceResult,
     execute_trace,
@@ -60,6 +61,9 @@ class Component:
         self.image: Optional[MemoryImage] = None
         self.reboot_epoch = 0
         self.faults_detected = 0
+        #: Set on every dispatch/execute; lets a pooled restore skip
+        #: components the previous run never entered.
+        self._ran = False
         self._exports: Dict[str, Callable] = {}
         for attr in dir(type(self)):
             # Look on the class (not the instance) so properties are not
@@ -108,11 +112,26 @@ class Component:
         addresses a fresh build would — restored and fresh systems stay
         structurally identical, which is what keeps pooled campaign runs
         bit-identical to fresh-build runs.
+
+        Components the previous run never entered (no dispatch or trace
+        execution, no reboot, image untouched) are skipped outright:
+        their state *is* the post-boot state, and a typical campaign run
+        enters only a handful of the system's components.
         """
+        if not (
+            self._ran
+            or self.reboot_epoch
+            or self.faults_detected
+        ) and self.image.is_pristine():
+            return
+        self._pool_restore_impl()
+
+    def _pool_restore_impl(self) -> None:
         self.image.restore_initial()
         self.reinit()
         self.reboot_epoch = 0
         self.faults_detected = 0
+        self._ran = False
 
     # -- interface dispatch ---------------------------------------------------
     @property
@@ -122,6 +141,7 @@ class Component:
     def dispatch(self, fn: str, thread, args) -> object:
         if fn not in self._exports:
             raise CapabilityError(f"{self.name} does not export {fn!r}")
+        self._ran = True
         return self._exports[fn](thread, *args)
 
     # -- trace execution --------------------------------------------------------
@@ -136,31 +156,53 @@ class Component:
         interface; whether that becomes a *propagated* fault is decided by
         the caller (stub validation usually catches it).
         """
+        self._ran = True
         regs = thread.regs
-        regs.write(ESP, self.image.stack_top)
-        regs.write(EBP, self.image.stack_top)
+        # Entry-register setup is the per-trace hot path (one execute per
+        # service/tracking trace): poke the register file's lists
+        # directly instead of paying a method call per register.
+        values = regs.values
+        taint = regs.taint
+        top = self.image.stack_top
+        values[ESP] = top
+        taint[ESP] = False
+        values[EBP] = top
+        taint[EBP] = False
         for reg, value in trace.entry_regs.items():
-            regs.write(reg, value)
-        injection = None
+            values[reg] = value & WORD_MASK
+            taint[reg] = False
         kernel = self.kernel
-        recorder = kernel.recorder if kernel is not None else None
-        traced = recorder is not None and recorder.enabled
-        if kernel is not None and kernel.swifi is not None:
-            injection = kernel.swifi.take_injection(self.name, len(trace))
-            if injection is not None and traced:
-                # The flip is applied inside the upcoming execution;
-                # record exactly where it lands.  Events are emitted only
-                # here, at the trace-execution boundary — never from
-                # inside the interpreter or the compiled fast path.
-                recorder.emit(
-                    "swifi_inject",
-                    component=self.name,
-                    reg=injection.reg,
-                    bit=injection.bit,
-                    op_index=injection.op_index,
-                    trace_len=len(trace),
-                    label=trace.label,
+        if kernel is None:
+            # Unattached execution (unit tests drive traces directly):
+            # no SWIFI, no stats, no cycle accounting.
+            result = try_execute_fast(trace, regs, self.image, self.name)
+            if result is None:
+                result = execute_trace(
+                    trace, regs, self.image, component_name=self.name,
+                    injection=None,
                 )
+            return result
+        recorder = kernel.recorder
+        traced = recorder.enabled
+        swifi = kernel.swifi
+        injection = (
+            swifi.take_injection(self.name, len(trace))
+            if swifi is not None else None
+        )
+        if injection is not None and traced:
+            # The flip is applied inside the upcoming execution;
+            # record exactly where it lands.  Events are emitted only
+            # here, at the trace-execution boundary — never from
+            # inside the interpreter or the compiled fast path.
+            recorder.emit(
+                "swifi_inject",
+                component=self.name,
+                reg=injection.reg,
+                bit=injection.bit,
+                op_index=injection.op_index,
+                trace_len=len(trace),
+                label=trace.label,
+            )
         try:
             # Tier 2: no pending injection and no live taint means the
             # taint machinery is provably inert — run the compiled clean
@@ -177,15 +219,13 @@ class Component:
                     trace, regs, self.image, component_name=self.name,
                     injection=injection,
                 )
-                if kernel is not None:
-                    kernel.stats["interp_slow_runs"] += 1
-            elif kernel is not None:
+                kernel.stats["interp_slow_runs"] += 1
+            else:
                 kernel.stats["interp_fast_runs"] += 1
         except Exception:
             # Even a faulting trace consumed time; approximate with the
             # full-trace cost before the fault unwinds.
-            if kernel is not None:
-                kernel.charge(thread, 3 * len(trace))
+            kernel.charge(thread, 3 * len(trace))
             raise
         if traced:
             recorder.emit(
@@ -196,8 +236,7 @@ class Component:
                 injected=injection is not None,
                 cycles=result.cycles,
             )
-        if kernel is not None:
-            kernel.charge(thread, result.cycles)
+        kernel.charge(thread, result.cycles)
         return result
 
     def check_return(self, result: TraceResult, plausible) -> int:

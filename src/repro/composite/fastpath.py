@@ -279,9 +279,12 @@ def try_execute_fast(
     """
     if not FAST_INTERP_ENABLED:
         return None
-    if getattr(memory, "taint_count", 1) != 0:
+    try:
+        tainted = memory._taint_count
+    except AttributeError:
+        # Not a MemoryImage stand-in we know how to vet: stay slow.
         return None
-    if True in regs.taint:
+    if tainted or True in regs.taint:
         return None
     program = trace._compiled
     if (

@@ -89,12 +89,20 @@ class Kernel:
             "interp_slow_runs": 0,
             "trace_cache_hits": 0,
             "trace_cache_misses": 0,
+            # Tier-3 super-trace accounting (see composite.supertrace):
+            # invocation units replayed vs routed to the authoritative
+            # dispatch path while a replay session was attached.
+            "super_trace_runs": 0,
+            "super_trace_bypasses": 0,
             # Times a run() call returned with its step budget exhausted
             # while runnable/blocked work remained (see Kernel.run).
             "budget_exhausted": 0,
         }
         #: Whether the most recent run() ended on an exhausted budget.
         self.last_run_exhausted = False
+        #: Attached tier-3 session (RecordingSession / ReplaySession),
+        #: or None for plain two-tier execution.
+        self._supertrace = None
         #: Hooks observing every fault vectoring: f(component, fault).
         self.fault_observers: List[Callable] = []
         self._sealed_fault_observers: Optional[List[Callable]] = None
@@ -105,6 +113,7 @@ class Kernel:
     def pool_seal(self) -> None:
         """Capture post-boot kernel state a pooled restore reinstates."""
         self._sealed_fault_observers = list(self.fault_observers)
+        self._sealed_zero_stats = dict.fromkeys(self.stats, 0)
 
     def pool_restore(self) -> None:
         """Reset every per-run kernel structure to its post-boot state.
@@ -122,8 +131,15 @@ class Kernel:
         self.current = None
         self.swifi = None
         self.last_run_exhausted = False
-        for key in self.stats:
-            self.stats[key] = 0
+        self._supertrace = None
+        zero = getattr(self, "_sealed_zero_stats", None)
+        if zero is not None:
+            # In-place zeroing that keeps the dict's identity (compiled
+            # super-trace units bind it) — update() beats a Python loop.
+            self.stats.update(zero)
+        else:
+            for key in self.stats:
+                self.stats[key] = 0
         if self._sealed_fault_observers is not None:
             self.fault_observers = list(self._sealed_fault_observers)
         else:
@@ -186,7 +202,9 @@ class Kernel:
     # Time accounting
     # ------------------------------------------------------------------
     def charge(self, thread: Optional[SimThread], cycles: int) -> None:
-        self.clock.advance(cycles)
+        # Inline of clock.advance: charge is the hottest kernel entry
+        # point and internal callers never pass negative cycles.
+        self.clock.now += cycles
         if thread is not None:
             thread.cycles += cycles
 
@@ -194,7 +212,22 @@ class Kernel:
     # Invocation path
     # ------------------------------------------------------------------
     def invoke(self, thread: SimThread, action: Invoke):
-        """Top-level component invocation, interposed by a client stub."""
+        """Top-level component invocation, interposed by a client stub.
+
+        With a tier-3 session attached (``composite.supertrace``), the
+        session interposes here: a ReplaySession applies the recorded
+        unit when its guard proves equivalence, and a RecordingSession
+        diffs the authoritative execution into a new unit.  Nested
+        invocations made *inside* a unit (``Component.call``) re-enter
+        with ``busy`` set and run authoritatively.
+        """
+        st = self._supertrace
+        if st is not None and not st.busy:
+            return st.on_invoke(self, thread, action)
+        return self._invoke_impl(thread, action)
+
+    def _invoke_impl(self, thread: SimThread, action: Invoke):
+        """The authoritative invocation path (two-tier engine)."""
         client = thread.executing_in or thread.home
         if not self._caps.get((client, action.server)):
             raise CapabilityError(
@@ -458,26 +491,38 @@ class Kernel:
         """
         self.last_run_exhausted = False
         steps = 0
-        while steps < max_steps:
-            if self.crashed is not None:
-                break
-            if max_cycles is not None and self.clock.now >= max_cycles:
-                break
-            for callback in self.clock.pop_due():
-                callback()
-            thread = self.run_queue.pick()
-            if thread is None:
-                if self.run_queue.all_done():
+        # This loop runs tens of thousands of times per campaign: bind
+        # the per-step collaborators once and batch the steps counter
+        # into stats at exit (no mid-run reader observes it).
+        clock = self.clock
+        timers = clock._timers
+        run_queue = self.run_queue
+        pick = run_queue.pick
+        step = self._step
+        try:
+            while steps < max_steps:
+                if self.crashed is not None:
                     break
-                if not self.clock.skip_to_next_expiry():
-                    raise SystemHang(
-                        "all threads blocked with no pending timer (deadlock)",
-                        component="kernel",
-                    )
-                continue
-            self._step(thread)
-            steps += 1
-            self.stats["steps"] += 1
+                if max_cycles is not None and clock.now >= max_cycles:
+                    break
+                if timers:
+                    for callback in clock.pop_due():
+                        callback()
+                thread = pick()
+                if thread is None:
+                    if run_queue.all_done():
+                        break
+                    if not clock.skip_to_next_expiry():
+                        raise SystemHang(
+                            "all threads blocked with no pending timer "
+                            "(deadlock)",
+                            component="kernel",
+                        )
+                    continue
+                step(thread)
+                steps += 1
+        finally:
+            self.stats["steps"] += steps
         if (
             steps >= max_steps
             and self.crashed is None
@@ -506,7 +551,13 @@ class Kernel:
         if pending is not None and pending[0] == "unblock":
             # Run the stub's post-wakeup tracking on the woken thread.
             __, stub, action, value = pending
-            value = stub.post_unblock(self, thread, action.fn, action.args, value)
+            st = self._supertrace
+            if st is not None and not st.busy:
+                value = st.on_unblock(self, thread, stub, action, value)
+            else:
+                value = stub.post_unblock(
+                    self, thread, action.fn, action.args, value
+                )
             pending = ("value", value)
 
         try:

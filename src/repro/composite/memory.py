@@ -163,6 +163,11 @@ class MemoryImage:
         """Has the page holding word ``index`` been written?"""
         return self._dirty[index >> PAGE_SHIFT] != 0
 
+    def is_pristine(self) -> bool:
+        """True when no word was written (or tainted) since the last
+        freeze/restore — i.e. a restore would be a no-op memcpy."""
+        return self._taint_count == 0 and 1 not in self._dirty
+
     def dirty_page_indices(self) -> List[int]:
         """Page numbers written since the last freeze/restore, ascending.
 

@@ -98,11 +98,23 @@ class RunQueue:
 
     def pick(self) -> Optional[SimThread]:
         """Highest-priority runnable thread; round-robin within a priority."""
-        runnable = [t for t in self._threads if t.state is ThreadState.READY]
-        if not runnable:
+        # Hot path (called once per scheduler step): one pass collecting
+        # the best-priority peer list in place of the three comprehension
+        # passes this used to take.
+        ready = ThreadState.READY
+        best_prio = None
+        peers = None
+        for t in self._threads:
+            if t.state is not ready:
+                continue
+            prio = t.prio
+            if best_prio is None or prio < best_prio:
+                best_prio = prio
+                peers = [t]
+            elif prio == best_prio:
+                peers.append(t)
+        if peers is None:
             return None
-        best_prio = min(t.prio for t in runnable)
-        peers = [t for t in runnable if t.prio == best_prio]
         choice = peers[self._rr % len(peers)]
         self._rr += 1
         return choice

@@ -67,11 +67,14 @@ _CANARY = 0xCAFE57AC
 _VERIFY_ROUNDS = 2
 
 
+def _always_plausible(value) -> bool:
+    return True
+
+
 def arg_word(value) -> int:
     """Map an interface argument to the 32-bit word it travels in."""
-    if isinstance(value, bool):
-        return int(value)
     if isinstance(value, int):
+        # bools land here too: True & mask == 1 == int(True).
         return value & WORD_MASK
     if isinstance(value, (bytes, bytearray)):
         return zlib.crc32(bytes(value)) & WORD_MASK
@@ -333,7 +336,7 @@ class ServiceComponent(Component):
         if retval is not None and self._trace_cache is not None:
             key = (
                 "create", label, record.addr, values,
-                tuple(arg_word(a) for a in args), scan, retval, extend_key,
+                tuple([arg_word(a) for a in args]), scan, retval, extend_key,
             )
             cached = self._cache_lookup(key)
             if cached is not None:
@@ -388,9 +391,9 @@ class ServiceComponent(Component):
         if retval is not None and self._trace_cache is not None:
             key = (
                 "touch", label, record.addr,
-                tuple((off, value & WORD_MASK) for off, value in expected),
-                tuple((off, value & WORD_MASK) for off, value in stores),
-                tuple(arg_word(a) for a in args), scan, retval, extend_key,
+                tuple([(off, value & WORD_MASK) for off, value in expected]),
+                tuple([(off, value & WORD_MASK) for off, value in stores]),
+                tuple([arg_word(a) for a in args]), scan, retval, extend_key,
             )
             cached = self._cache_lookup(key)
             if cached is not None:
@@ -448,5 +451,5 @@ class ServiceComponent(Component):
         """
         result = self.execute(thread, trace)
         if plausible is None:
-            plausible = lambda value: True  # noqa: E731 - tiny predicate
+            plausible = _always_plausible
         return self.check_return(result, plausible)

@@ -138,7 +138,13 @@ class RamFSService(ServiceComponent):
             raise InvalidDescriptor(fd, component=self.name)
         file = self.files[fd]
         record = self.record_for(fd)
-        cbid, length = self._path_info[file.path]
+        info = self._lookup_path_info(thread, file.path)
+        if info is None:
+            # A known fd with no backing buffer is the root directory
+            # (or a fuzzed fd that landed on it): writes to it are as
+            # invalid as writes to an unknown descriptor.
+            raise InvalidDescriptor(fd, component=self.name)
+        cbid, length = info
         payload = bytes(data)
         trace = self.checked_touch(
             record,

@@ -35,16 +35,20 @@ class StorageService(Component):
     def pool_seal(self) -> None:
         self._sealed_data = dict(self._data)
 
-    def pool_restore(self) -> None:
+    def _pool_restore_impl(self) -> None:
         # reinit preserves contents across micro-reboots by design; a
         # pooled restore must instead drop everything the previous run
         # stored and reinstate the sealed post-boot contents.
-        super().pool_restore()
+        super()._pool_restore_impl()
         self._data = dict(getattr(self, "_sealed_data", {}))
 
     # ------------------------------------------------------------------
     @export
     def store_put(self, thread, ns, key, value) -> int:
+        # _ran is set here (not only in dispatch) because stubs and
+        # recovery call the typed helpers below as plain methods; the
+        # pooled-restore skip must still see the mutation.
+        self._ran = True
         self.kernel.charge(thread, STORE_OP_CYCLES)
         self._data[(ns, key)] = value
         return 0
@@ -56,6 +60,7 @@ class StorageService(Component):
 
     @export
     def store_del(self, thread, ns, key) -> int:
+        self._ran = True
         self.kernel.charge(thread, STORE_OP_CYCLES)
         self._data.pop((ns, key), None)
         return 0

@@ -1,0 +1,1324 @@
+"""Tier-3 execution engine: invocation super-traces.
+
+The two-tier trace engine (PR 2) stops at the trace boundary: a clean
+invocation still pays kernel dispatch, client-stub transition,
+trace-cache lookups, and one Python call per micro-op trace.  This
+module records the *whole clean invocation sequence* of a workload —
+kernel ``invoke`` -> client stub -> service traces -> return, plus the
+post-wakeup stub tracking that runs when a blocked invocation completes
+— as a **super-trace**: an ordered list of invocation *units*, each
+carrying the unit's complete observable effect (virtual-clock delta,
+per-thread cycle/register end state, kernel statistics deltas, memory-
+image stores and dirty-page transitions, Python-state patch operations,
+and thread wakeups).  Replaying a unit applies those effects directly —
+one guard check and one batch of stores instead of the full dispatch
+pipeline — while ``execute_trace`` remains authoritative for everything
+a recording cannot soundly capture.
+
+Soundness model
+---------------
+
+A recording is made once per run spec, on the *pooled* system (the same
+sealed system every pooled campaign run restores), by running the spec's
+workload with no fault armed.  Replay is a strict prefix discipline over
+that recording:
+
+* Each unit's **guard** proves the run's trajectory is still identical
+  to the recording's: same invocation signature, same virtual clock,
+  no fault delivered, and — decisively — that the armed injection
+  *would not have fired inside this unit* (the unit records how many
+  eligible trace executions each component would have contributed to an
+  armed fault's countdown; the guard adds that to the live countdown
+  and bypasses the unit if it would cross the firing threshold, so the
+  fault is delivered by the authoritative path at exactly the execution
+  the two-tier engine would deliver it).
+* Units that park a thread, schedule timers, create threads, return
+  non-scalar values, leave register or memory taint, or mutate Python
+  state the patch engine cannot prove it can reproduce are recorded as
+  **bypass units**: at replay they execute authoritatively (the real
+  stub/trace pipeline), then the session verifies the unit ended on the
+  recording's virtual clock and keeps replaying.  Blocking workloads
+  (lock contention, event waits) therefore stay replayable around
+  their parks.
+* Any guard failure — most importantly the first fault delivery —
+  permanently **diverges** the session: every subsequent invocation
+  runs authoritatively.  Replay never approximates; it either proves
+  equivalence or steps aside.
+
+The SWIFI purity contract is preserved: the seeded RNG is consumed only
+at arm and delivery time (never while counting executions), replayed
+units advance all injection countdowns exactly as the authoritative
+path would, and replay reproduces memory-image *dirty-page transitions*
+as well as word values, so a later authoritative memory-class delivery
+draws its flip target from a bit-identical dirty set.
+
+Super-traces are active only for pooled, untraced runs
+(``REPRO_SUPER_TRACE=0`` disables them entirely; ``REPRO_SYSTEM_POOL=0``
+and flight-recorder runs never attach one), because a recording binds
+the sealed system object it was made on.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.composite.memory import PAGE_SHIFT, PAGE_WORDS
+from repro.composite.thread import ThreadState
+from repro.errors import BlockThread
+
+__all__ = [
+    "super_trace_enabled",
+    "Recording",
+    "RecordingSession",
+    "ReplaySession",
+    "SuperTraceRegistry",
+    "REGISTRY",
+]
+
+
+def super_trace_enabled() -> bool:
+    """Is the tier-3 engine on?  ``REPRO_SUPER_TRACE=0`` disables it."""
+    return os.environ.get("REPRO_SUPER_TRACE", "1") != "0"
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / diff / patch engine for authoritative Python state
+# ---------------------------------------------------------------------------
+
+class _NotReplayable(Exception):
+    """This unit's effects cannot be proven reproducible; record a bypass."""
+
+
+_SCALARS = (bool, int, float, str, bytes, type(None))
+
+#: Plain-data state classes the patch engine may recurse into and
+#: reconstruct.  Every cross-reference among them is by key (tids,
+#: cdescs, event ids, mapping keys), never by object identity, which is
+#: what makes attribute-level patching and per-apply materialisation
+#: sound.  Anything outside this set is compared by structural
+#: fingerprint and forces a bypass unit if it changed.
+_STATE_CLASSES = frozenset(
+    {
+        "_LockState",
+        "_EventState",
+        "_TimerState",
+        "_Mapping",
+        "_File",
+        "_Cbuf",
+        "Record",
+        "DescriptorEntry",
+        "TrackingTable",
+    }
+)
+
+#: Component attributes outside the diff: identity/wiring, the memory
+#: image (diffed separately via its dirty-page bitmap), and the trace
+#: caches that are deliberately kept warm across pooled runs.
+_COMPONENT_SKIP = frozenset(
+    {"name", "kernel", "image", "_exports", "_trace_cache", "_track_traces"}
+)
+
+#: Client-stub attributes the diff covers (the rest is build-time wiring).
+_CLIENT_STUB_ATTRS = ("table", "seen_epoch", "stats")
+_SERVER_STUB_ATTRS = ("stats",)
+
+_MAX_DEPTH = 12
+
+
+def _is_state_obj(value) -> bool:
+    cls = type(value)
+    return (
+        cls.__name__ in _STATE_CLASSES
+        and cls.__module__.startswith("repro.")
+    )
+
+
+def _obj_attrs(value) -> List[str]:
+    slots = getattr(type(value), "__slots__", None)
+    if slots is not None:
+        return [s for s in slots if hasattr(value, s)]
+    return list(value.__dict__)
+
+
+class _Snap:
+    """One snapshotted slot value: kind tag, data, original reference."""
+
+    __slots__ = ("kind", "data", "ref")
+
+    def __init__(self, kind: str, data, ref=None):
+        self.kind = kind
+        self.data = data
+        self.ref = ref
+
+
+class _Frozen:
+    """A record-time deep copy of a new value, materialised per apply."""
+
+    __slots__ = ("kind", "data", "cls")
+
+    def __init__(self, kind: str, data, cls=None):
+        self.kind = kind
+        self.data = data
+        self.cls = cls
+
+
+def _fingerprint(value):
+    """Order-stable structural fingerprint for non-whitelisted objects."""
+    from repro.system import _flatten
+
+    out: Dict[str, object] = {}
+    _flatten(value, "x", out)
+    return out
+
+
+def _snap_value(value, depth: int = 0) -> _Snap:
+    if depth > _MAX_DEPTH:
+        raise _NotReplayable("snapshot depth exceeded")
+    if isinstance(value, _SCALARS):
+        return _Snap("s", value)
+    if isinstance(value, tuple):
+        return _Snap("t", tuple(_snap_value(v, depth + 1) for v in value))
+    if isinstance(value, list):
+        return _Snap(
+            "l", [_snap_value(v, depth + 1) for v in value], value
+        )
+    if isinstance(value, deque):
+        return _Snap(
+            "q", [_snap_value(v, depth + 1) for v in value], value
+        )
+    if isinstance(value, (set, frozenset)):
+        for item in value:
+            if not isinstance(item, _SCALARS + (tuple,)):
+                raise _NotReplayable("set of non-scalars")
+        return _Snap("e", frozenset(value), value)
+    if isinstance(value, bytearray):
+        return _Snap("b", bytes(value), value)
+    if isinstance(value, dict):
+        return _Snap(
+            "d", {k: _snap_value(v, depth + 1) for k, v in value.items()},
+            value,
+        )
+    if _is_state_obj(value):
+        return _Snap(
+            "o",
+            {a: _snap_value(getattr(value, a), depth + 1)
+             for a in _obj_attrs(value)},
+            value,
+        )
+    if callable(value):
+        return _Snap("c", None, value)
+    return _Snap("x", _fingerprint(value), value)
+
+
+def _freeze(value, depth: int = 0) -> object:
+    """Record-time deep copy of a *new* value into plain data."""
+    if depth > _MAX_DEPTH:
+        raise _NotReplayable("freeze depth exceeded")
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, tuple):
+        return _Frozen("t", tuple(_freeze(v, depth + 1) for v in value))
+    if isinstance(value, list):
+        return _Frozen("l", [_freeze(v, depth + 1) for v in value])
+    if isinstance(value, deque):
+        return _Frozen("q", [_freeze(v, depth + 1) for v in value])
+    if isinstance(value, (set, frozenset)):
+        return _Frozen("e", frozenset(value))
+    if isinstance(value, bytearray):
+        return _Frozen("b", bytes(value))
+    if isinstance(value, dict):
+        return _Frozen("d", [(k, _freeze(v, depth + 1))
+                             for k, v in value.items()])
+    if _is_state_obj(value):
+        return _Frozen(
+            "o",
+            [(a, _freeze(getattr(value, a), depth + 1))
+             for a in _obj_attrs(value)],
+            type(value),
+        )
+    raise _NotReplayable(f"cannot freeze {type(value).__name__}")
+
+
+def _materialize(frozen):
+    """Build a fresh instance of a frozen value (one per apply)."""
+    if not isinstance(frozen, _Frozen):
+        return frozen
+    kind = frozen.kind
+    if kind == "t":
+        return tuple(_materialize(v) for v in frozen.data)
+    if kind == "l":
+        return [_materialize(v) for v in frozen.data]
+    if kind == "q":
+        return deque(_materialize(v) for v in frozen.data)
+    if kind == "e":
+        return set(frozen.data)
+    if kind == "b":
+        return bytearray(frozen.data)
+    if kind == "d":
+        return {k: _materialize(v) for k, v in frozen.data}
+    if kind == "o":
+        obj = frozen.cls.__new__(frozen.cls)
+        for attr, value in frozen.data:
+            setattr(obj, attr, _materialize(value))
+        return obj
+    raise AssertionError(f"bad frozen kind {kind!r}")
+
+
+def _scalar_equal(a, b) -> bool:
+    return type(a) is type(b) and a == b
+
+
+def _snap_equal(snap: _Snap, live) -> bool:
+    """Value equality between a snapshot node and a live value."""
+    kind = snap.kind
+    if kind == "s":
+        return isinstance(live, _SCALARS) and _scalar_equal(snap.data, live)
+    if kind == "t":
+        return (
+            isinstance(live, tuple)
+            and len(live) == len(snap.data)
+            and all(_snap_equal(s, v) for s, v in zip(snap.data, live))
+        )
+    if kind in ("l", "q"):
+        return (
+            live is snap.ref
+            and len(live) == len(snap.data)
+            and all(_snap_equal(s, v) for s, v in zip(snap.data, live))
+        )
+    if kind == "e":
+        return live is snap.ref and frozenset(live) == snap.data
+    if kind == "b":
+        return live is snap.ref and bytes(live) == snap.data
+    if kind == "c":
+        return live is snap.ref
+    return False  # dict / obj / opaque: diffed structurally, not by value
+
+
+def _diff_slot(snap: Optional[_Snap], live, path: tuple, ops: list) -> None:
+    """Emit patch operations turning the snapshotted slot into ``live``.
+
+    ``path`` is the navigation from the root object: ``("a", name)`` for
+    an attribute step, ``("k", key)`` for a container key.  Containers
+    and whitelisted state objects are patched *in place* (closures and
+    wait queues alias them); rebound or newly created values are frozen
+    at record time and materialised fresh on every apply.
+    """
+    if snap is None:  # newly added slot
+        ops.append(("set", path, _freeze(live)))
+        return
+    kind = snap.kind
+    if kind == "s":
+        if not (isinstance(live, _SCALARS) and _scalar_equal(snap.data, live)):
+            ops.append(("set", path, _freeze(live)))
+        return
+    if kind == "t":
+        if not _snap_equal(snap, live):
+            ops.append(("set", path, _freeze(live)))
+        return
+    if kind in ("l", "q"):
+        if live is not snap.ref:
+            ops.append(("set", path, _freeze(live)))
+        elif not (
+            len(live) == len(snap.data)
+            and all(_snap_equal(s, v) for s, v in zip(snap.data, live))
+        ):
+            code = "fill_list" if kind == "l" else "fill_deque"
+            ops.append((code, path, _freeze(list(live))))
+        return
+    if kind == "e":
+        if live is not snap.ref:
+            ops.append(("set", path, _freeze(live)))
+        elif frozenset(live) != snap.data:
+            ops.append(("fill_set", path, frozenset(live)))
+        return
+    if kind == "b":
+        if live is not snap.ref:
+            ops.append(("set", path, _freeze(live)))
+        elif bytes(live) != snap.data:
+            ops.append(("fill_bytes", path, bytes(live)))
+        return
+    if kind == "d":
+        if live is not snap.ref:
+            ops.append(("set", path, _freeze(live)))
+            return
+        snap_children = snap.data
+        for key in snap_children:
+            if key not in live:
+                ops.append(("del", path + (("k", key),), None))
+        for key, value in live.items():
+            _diff_slot(
+                snap_children.get(key), value, path + (("k", key),), ops
+            )
+        return
+    if kind == "o":
+        if live is not snap.ref:
+            ops.append(("set", path, _freeze(live)))
+            return
+        snap_children = snap.data
+        live_attrs = _obj_attrs(live)
+        for attr in snap_children:
+            if attr not in live_attrs:
+                ops.append(("del", path + (("a", attr),), None))
+        for attr in live_attrs:
+            _diff_slot(
+                snap_children.get(attr),
+                getattr(live, attr),
+                path + (("a", attr),),
+                ops,
+            )
+        return
+    if kind == "c":
+        if live is not snap.ref:
+            raise _NotReplayable("callable slot rebound")
+        return
+    # opaque object: any structural change forces a bypass unit
+    if live is not snap.ref or _fingerprint(live) != snap.data:
+        raise _NotReplayable(f"opaque object changed: {type(live).__name__}")
+
+
+def _navigate(root, steps):
+    obj = root
+    for code, key in steps:
+        obj = getattr(obj, key) if code == "a" else obj[key]
+    return obj
+
+
+def _apply_op(root, op) -> None:
+    code, path, payload = op
+    if code == "set":
+        parent = _navigate(root, path[:-1])
+        scode, skey = path[-1]
+        if scode == "a":
+            setattr(parent, skey, _materialize(payload))
+        else:
+            parent[skey] = _materialize(payload)
+        return
+    if code == "del":
+        parent = _navigate(root, path[:-1])
+        scode, skey = path[-1]
+        if scode == "a":
+            delattr(parent, skey)
+        else:
+            del parent[skey]
+        return
+    target = _navigate(root, path)
+    if code == "fill_list":
+        target[:] = _materialize(payload)
+    elif code == "fill_deque":
+        target.clear()
+        target.extend(_materialize(payload))
+    elif code == "fill_set":
+        target.clear()
+        target.update(payload)
+    elif code == "fill_bytes":
+        target[:] = payload
+    else:  # pragma: no cover - defensive
+        raise AssertionError(f"bad op {code!r}")
+
+
+# ---------------------------------------------------------------------------
+# Unit records
+# ---------------------------------------------------------------------------
+
+class Unit:
+    """One recorded invocation (or post-wakeup tracking) unit."""
+
+    __slots__ = (
+        "kind",          # "invoke" | "unblock" | "bypass"
+        "okind",         # for bypass units: the original unit kind
+        "sig",           # (tid, client, server, fn, args[, value_in])
+        "start_clock",
+        "end_clock",
+        "retval",
+        "threads_delta",  # ((tid, dcycles, dinvocations), ...)
+        "regs_end",       # ((tid, (v0..v7)), ...)
+        "stats_delta",    # ((key, delta), ...)
+        "tc_delta",       # ((component, delta), ...) swifi.trace_counts
+        "ic_delta",       # ((server, delta), ...)    swifi.invoke_counts
+        "ic_map",         # dict view of ic_delta for the idl guard
+        "armed_hits",     # {component: eligible trace executions}
+        "images",         # ((image, stores, dirty_pages, alloc, free), ...)
+        "ops",            # ((root_obj, op), ...)
+        "wakes",          # ((tid, value, blocked_in, token, has_stub), ...)
+        "stub",           # resolved client stub for thread._last_stub
+        "fast",           # exec-compiled guard+apply, or None (interpreted)
+    )
+
+
+#: Divergence sentinel returned by compiled unit functions.  Unit return
+#: values are scalars (or tuples of scalars), so an ``is`` check against
+#: this unique object can never collide with a real result.
+_NO = object()
+
+
+def _key_expr(key) -> str:
+    """A scalar (or tuple) as source text; raises unless repr round-trips."""
+    if isinstance(key, (bool, int, str, bytes)) or key is None:
+        return repr(key)
+    if isinstance(key, float):
+        if key != key or key in (float("inf"), float("-inf")):
+            raise _NotReplayable("non-finite float literal")
+        return repr(key)
+    if isinstance(key, tuple):
+        return (
+            "(" + ", ".join(_key_expr(k) for k in key)
+            + ("," if len(key) == 1 else "") + ")"
+        )
+    raise _NotReplayable(f"unliteralisable key {type(key).__name__}")
+
+
+def _compile_unit(unit: Unit):
+    """Compile one replayable unit into a single guard+apply function.
+
+    The generated function takes ``(kernel, thread)`` and either returns
+    the unit's recorded value after applying its whole effect, or the
+    :data:`_NO` sentinel if any guard fails (caller then diverges to the
+    authoritative path).  All constant effects — clock delta, register
+    files, memory stores, patch targets — are inlined as literals or
+    bound through the function's globals, so a replayed invocation costs
+    one Python call of straight-line code.  Returns ``None`` (caller
+    keeps the interpreted guard/apply) when a unit's shape defeats the
+    code generator.
+    """
+    g = {
+        "_NO": _NO,
+        "_READY": ThreadState.READY,
+        "_BLOCKED": ThreadState.BLOCKED,
+        "_M": _materialize,
+        "RV": unit.retval,
+        "STUB": unit.stub,
+    }
+    L = ["def _fast(k, t):"]
+    emit = L.append
+    # ---- guards -----------------------------------------------------
+    emit(f" if k.clock.now != {unit.start_clock}: return _NO")
+    emit(" if k.crashed is not None: return _NO")
+    emit(" b = k.booter")
+    emit(" if b is not None and b.reboot_log: return _NO")
+    emit(" s = k.swifi")
+    emit(" if s is not None:")
+    emit("  if s.delivered or s._idl_ret_pending is not None"
+         " or s._burst_remaining: return _NO")
+    if unit.armed_hits:
+        emit("  p = s.pending")
+        emit("  if p is not None:")
+        for comp, hits in unit.armed_hits.items():
+            emit(f"   if p.component == {comp!r} and"
+                 f" p.seen + {hits} > p.after_executions: return _NO")
+    if unit.ic_map:
+        emit("  i = s._idl_pending")
+        emit("  if i is not None:")
+        for server, delta in unit.ic_map.items():
+            emit(f"   if i[0] == {server!r} and"
+                 f" i[2] + {delta} > i[1]: return _NO")
+    emit(" T = k.threads")
+    tids = sorted(
+        {tid for tid, __, __ in unit.threads_delta}
+        | {tid for tid, __ in unit.regs_end}
+        | {w[0] for w in unit.wakes}
+    )
+    for tid in tids:
+        emit(f" t{tid} = T.get({tid})")
+        emit(f" if t{tid} is None: return _NO")
+    for tid, value, blocked_in, token, has_stub in unit.wakes:
+        emit(f" if t{tid}.state is not _BLOCKED: return _NO")
+        emit(f" if t{tid}.blocked_in != {blocked_in!r}"
+             f" or t{tid}.block_token != {token!r}: return _NO")
+        emit(f" if (t{tid}.block_stub is not None and"
+             f" t{tid}.block_invoke is not None) != {bool(has_stub)}:"
+             " return _NO")
+    for tid, __ in unit.regs_end:
+        emit(f" if True in t{tid}.regs.taint: return _NO")
+    for n, (image, __, __, __, __) in enumerate(unit.images):
+        g[f"I{n}"] = image
+        emit(f" if I{n}._taint_count: return _NO")
+    # ---- apply ------------------------------------------------------
+    delta = unit.end_clock - unit.start_clock
+    if delta:
+        emit(f" k.clock.now += {delta}")
+    for tid, dc, di in unit.threads_delta:
+        if dc:
+            emit(f" t{tid}.cycles += {dc}")
+        if di:
+            emit(f" t{tid}.invocations += {di}")
+    for tid, values in unit.regs_end:
+        emit(f" t{tid}.regs.values[:] = {values!r}")
+    emit(" S = k.stats")
+    for key, d in unit.stats_delta:
+        emit(f" S[{key!r}] += {d}")
+    emit(" S['super_trace_runs'] += 1")
+    if unit.tc_delta or unit.ic_delta or unit.armed_hits or unit.ic_map:
+        emit(" if s is not None:")
+        emit("  c_ = s.trace_counts")
+        for comp, d in unit.tc_delta:
+            emit(f"  c_[{comp!r}] = c_.get({comp!r}, 0) + {d}")
+        emit("  v_ = s.invoke_counts")
+        for server, d in unit.ic_delta:
+            emit(f"  v_[{server!r}] = v_.get({server!r}, 0) + {d}")
+        if unit.armed_hits:
+            emit("  p = s.pending")
+            emit("  if p is not None:")
+            for comp, hits in unit.armed_hits.items():
+                emit(f"   if p.component == {comp!r}: p.seen += {hits}")
+        if unit.ic_map:
+            emit("  i = s._idl_pending")
+            emit("  if i is not None:")
+            for server, d in unit.ic_map.items():
+                emit(f"   if i[0] == {server!r}: i[2] += {d}")
+    for n, (image, stores, new_dirty, alloc, free) in enumerate(unit.images):
+        if stores:
+            g[f"W{n}"] = image.words
+            for index, value in stores:
+                emit(f" W{n}[{index}] = {value}")
+        if new_dirty:
+            g[f"D{n}"] = image._dirty
+            for page in new_dirty:
+                emit(f" D{n}[{page}] = 1")
+        if alloc is not None:
+            emit(f" I{n}._alloc_ptr = {alloc}")
+        if free is not None:
+            emit(f" f_ = I{n}._free_lists")
+            emit(" f_.clear()")
+            for nwords, addrs in free:
+                emit(f" f_[{nwords}] = {list(addrs)!r}")
+    try:
+        npay = 0
+        for n, (root, (code, path, payload)) in enumerate(unit.ops):
+            rname = f"R{n}"
+            g[rname] = root
+            expr = rname
+            for scode, skey in path[:-1]:
+                expr += f".{skey}" if scode == "a" else f"[{_key_expr(skey)}]"
+            scode, skey = path[-1]
+            last = f".{skey}" if scode == "a" else f"[{_key_expr(skey)}]"
+            if code == "set":
+                if isinstance(payload, _SCALARS):
+                    emit(f" {expr}{last} = {_key_expr(payload)}")
+                else:
+                    g[f"P{npay}"] = payload
+                    emit(f" {expr}{last} = _M(P{npay})")
+                    npay += 1
+            elif code == "del":
+                emit(f" del {expr}{last}")
+            else:
+                g[f"P{npay}"] = payload
+                target = expr + last
+                if code == "fill_list":
+                    emit(f" {target}[:] = _M(P{npay})")
+                elif code == "fill_deque":
+                    emit(f" x_ = {target}")
+                    emit(" x_.clear()")
+                    emit(f" x_.extend(_M(P{npay}))")
+                elif code == "fill_set":
+                    emit(f" x_ = {target}")
+                    emit(" x_.clear()")
+                    emit(f" x_.update(P{npay})")
+                elif code == "fill_bytes":
+                    emit(f" {target}[:] = P{npay}")
+                else:
+                    return None
+                npay += 1
+    except _NotReplayable:
+        return None
+    for tid, value, __, __, __ in unit.wakes:
+        emit(f" t{tid}.state = _READY")
+        emit(f" t{tid}.blocked_in = None")
+        emit(f" t{tid}.block_token = None")
+        emit(f" t{tid}.block_on_wake = None")
+        emit(f" s_ = t{tid}.block_stub")
+        emit(f" t{tid}.block_stub = None")
+        emit(f" a_ = t{tid}.block_invoke")
+        emit(f" t{tid}.block_invoke = None")
+        emit(" if s_ is not None and a_ is not None:")
+        emit(f"  t{tid}.pending = ('unblock', s_, a_, {value!r})")
+        emit(" else:")
+        emit(f"  t{tid}.pending = ('value', {value!r})")
+    if unit.okind == "invoke":
+        emit(" t._last_stub = STUB")
+    emit(" return RV")
+    try:
+        exec(compile("\n".join(L), "<supertrace>", "exec"), g)
+    except SyntaxError:  # pragma: no cover - defensive
+        return None
+    return g["_fast"]
+
+
+class Recording:
+    """A finished super-trace: the unit sequence plus its provenance.
+
+    Each replayable unit is compiled into one exec-generated function
+    (guard checks and effect stores inlined as straight-line code, the
+    same technique as :mod:`repro.composite.fastpath`); the interpreted
+    guard/apply pair stays as the fallback for units the code generator
+    declines.
+    """
+
+    __slots__ = ("units", "kernel", "meta")
+
+    def __init__(self, units: List[Unit], kernel, meta: dict):
+        self.units = units
+        self.kernel = kernel
+        self.meta = meta
+        for unit in units:
+            unit.fast = (
+                _compile_unit(unit) if unit.kind != "bypass" else None
+            )
+
+    @property
+    def replayable_units(self) -> int:
+        return sum(1 for u in self.units if u.kind != "bypass")
+
+    @property
+    def bypass_units(self) -> int:
+        return sum(1 for u in self.units if u.kind == "bypass")
+
+
+# ---------------------------------------------------------------------------
+# Recording session
+# ---------------------------------------------------------------------------
+
+class RecordingSession:
+    """Attached to a kernel (``kernel._supertrace``) during the one
+    clean recording run; builds the unit list as the run executes."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.units: List[Unit] = []
+        self.failed: Optional[str] = None
+        self.busy = False
+        self._hits: Dict[str, int] = {}
+        self._swifi = None
+        self._external = False
+
+    def mark_external(self) -> None:
+        """Force the unit currently executing to record as a bypass.
+
+        Called from workload-side hooks (e.g. the web server's
+        ``on_served`` arming callback) whose side effects live outside
+        the kernel state a unit diff captures: a replayed unit would
+        skip the hook, so the unit must stay authoritative forever.
+        """
+        self._external = True
+
+    # -- swifi instrumentation -----------------------------------------
+    def instrument(self, swifi) -> None:
+        """Count, per unit, the trace executions that would advance an
+        armed fault's countdown (component match and non-empty trace)."""
+        self._swifi = swifi
+        hits = self._hits
+        original = type(swifi).take_injection.__get__(swifi)
+
+        def counting(component_name: str, trace_len: int):
+            if trace_len > 0:
+                hits[component_name] = hits.get(component_name, 0) + 1
+            return original(component_name, trace_len)
+
+        swifi.take_injection = counting
+
+    # -- kernel hooks ----------------------------------------------------
+    def on_invoke(self, kernel, thread, action):
+        client = thread.executing_in or thread.home
+        sig = (thread.tid, client, action.server, action.fn, action.args)
+        return self._record_unit(
+            kernel, "invoke", sig,
+            lambda: kernel._invoke_impl(thread, action),
+        )
+
+    def on_unblock(self, kernel, thread, stub, action, value):
+        sig = (
+            thread.tid,
+            getattr(stub, "client", None),
+            getattr(stub, "server", None),
+            action.fn,
+            action.args,
+            value if isinstance(value, _SCALARS) else "<nonscalar>",
+        )
+        return self._record_unit(
+            kernel, "unblock", sig,
+            lambda: stub.post_unblock(kernel, thread, action.fn,
+                                      action.args, value),
+        )
+
+    def _record_unit(self, kernel, kind, sig, body):
+        pre = self._snapshot(kernel)
+        start = kernel.clock.now
+        self.busy = True
+        self._external = False
+        try:
+            result = body()
+        except BlockThread:
+            self.units.append(
+                self._bypass_unit(kind, sig, start, kernel.clock.now)
+            )
+            raise
+        except BaseException as exc:
+            self.failed = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self.busy = False
+        if self._external:
+            self.units.append(
+                self._bypass_unit(kind, sig, start, kernel.clock.now)
+            )
+            return result
+        try:
+            self.units.append(
+                self._finish_unit(kernel, kind, sig, pre, start, result)
+            )
+        except _NotReplayable:
+            self.units.append(
+                self._bypass_unit(kind, sig, start, kernel.clock.now)
+            )
+        return result
+
+    def _bypass_unit(self, okind, sig, start, end) -> Unit:
+        unit = Unit()
+        unit.kind = "bypass"
+        unit.okind = okind
+        unit.sig = sig
+        unit.start_clock = start
+        unit.end_clock = end
+        return unit
+
+    # -- snapshot --------------------------------------------------------
+    def _snapshot(self, kernel):
+        self._hits.clear()
+        swifi = kernel.swifi
+        threads = {
+            tid: (
+                t.state,
+                t.blocked_in,
+                t.block_token,
+                t.cycles,
+                t.invocations,
+                tuple(t.regs.values),
+            )
+            for tid, t in kernel.threads.items()
+        }
+        images = {}
+        for name, comp in kernel.components.items():
+            image = comp.image
+            dirty = bytes(image._dirty)
+            pages = {}
+            words = image.words
+            size = image.size
+            for page in range(len(dirty)):
+                if dirty[page]:
+                    lo = page << PAGE_SHIFT
+                    pages[page] = words[lo:min(lo + PAGE_WORDS, size)]
+            images[name] = (
+                dirty, pages, image._alloc_ptr,
+                {k: tuple(v) for k, v in image._free_lists.items()},
+            )
+        roots = {}
+        for name, comp in kernel.components.items():
+            roots[("comp", name)] = {
+                attr: _snap_value(value)
+                for attr, value in comp.__dict__.items()
+                if attr not in _COMPONENT_SKIP
+                and not attr.startswith("_sealed")
+            }
+        for key, stub in kernel._stubs.items():
+            roots[("cstub",) + key] = {
+                attr: _snap_value(getattr(stub, attr))
+                for attr in _CLIENT_STUB_ATTRS
+                if hasattr(stub, attr)
+            }
+        for server, stub in kernel._server_stubs.items():
+            roots[("sstub", server)] = {
+                attr: _snap_value(getattr(stub, attr))
+                for attr in _SERVER_STUB_ATTRS
+                if hasattr(stub, attr)
+            }
+        return {
+            "timers": len(kernel.clock._timers),
+            "next_tid": kernel._next_tid,
+            "n_threads": len(kernel.threads),
+            "reboots": len(kernel.booter.reboot_log)
+            if kernel.booter is not None else 0,
+            "threads": threads,
+            "stats": dict(kernel.stats),
+            "tc": dict(swifi.trace_counts) if swifi is not None else {},
+            "ic": dict(swifi.invoke_counts) if swifi is not None else {},
+            "images": images,
+            "roots": roots,
+        }
+
+    # -- diff ------------------------------------------------------------
+    def _finish_unit(self, kernel, kind, sig, pre, start, result) -> Unit:
+        if kernel.crashed is not None:
+            raise _NotReplayable("kernel crashed inside unit")
+        if len(kernel.clock._timers) != pre["timers"]:
+            raise _NotReplayable("unit scheduled a timer")
+        if kernel._next_tid != pre["next_tid"]:
+            raise _NotReplayable("unit created a thread")
+        if len(kernel.threads) != pre["n_threads"]:
+            raise _NotReplayable("thread set changed")
+        booter = kernel.booter
+        if booter is not None and len(booter.reboot_log) != pre["reboots"]:
+            raise _NotReplayable("unit micro-rebooted a component")
+        if not _is_scalar_result(result):
+            raise _NotReplayable("non-scalar return value")
+
+        threads_delta = []
+        regs_end = []
+        wakes = []
+        for tid, t in kernel.threads.items():
+            p_state, p_blocked, p_token, p_cycles, p_inv, p_regs = (
+                pre["threads"][tid]
+            )
+            if True in t.regs.taint:
+                raise _NotReplayable("register taint at unit end")
+            if t.state is not p_state:
+                if (
+                    p_state is ThreadState.BLOCKED
+                    and t.state is ThreadState.READY
+                    and t.pending is not None
+                    and t.pending[0] in ("unblock", "value")
+                ):
+                    value = (
+                        t.pending[3] if t.pending[0] == "unblock"
+                        else t.pending[1]
+                    )
+                    if not isinstance(value, _SCALARS):
+                        raise _NotReplayable("non-scalar wake value")
+                    wakes.append(
+                        (tid, value, p_blocked, p_token,
+                         t.pending[0] == "unblock")
+                    )
+                else:
+                    raise _NotReplayable(
+                        f"thread state {p_state}->{t.state}"
+                    )
+            dc = t.cycles - p_cycles
+            di = t.invocations - p_inv
+            if dc or di:
+                threads_delta.append((tid, dc, di))
+            regs = tuple(t.regs.values)
+            if regs != p_regs:
+                regs_end.append((tid, regs))
+
+        stats_delta = tuple(
+            (key, value - pre["stats"][key])
+            for key, value in kernel.stats.items()
+            if value != pre["stats"].get(key, 0)
+        )
+        swifi = kernel.swifi
+        tc_delta: Tuple = ()
+        ic_delta: Tuple = ()
+        if swifi is not None:
+            tc_delta = tuple(
+                (c, n - pre["tc"].get(c, 0))
+                for c, n in swifi.trace_counts.items()
+                if n != pre["tc"].get(c, 0)
+            )
+            ic_delta = tuple(
+                (s, n - pre["ic"].get(s, 0))
+                for s, n in swifi.invoke_counts.items()
+                if n != pre["ic"].get(s, 0)
+            )
+
+        images = []
+        for name, comp in kernel.components.items():
+            image = comp.image
+            if image._taint_count:
+                raise _NotReplayable("memory taint at unit end")
+            p_dirty, p_pages, p_alloc, p_free = pre["images"][name]
+            stores = []
+            new_dirty = []
+            dirty = image._dirty
+            words = image.words
+            good = image._good_words
+            size = image.size
+            for page in range(len(dirty)):
+                if not dirty[page]:
+                    continue
+                lo = page << PAGE_SHIFT
+                hi = min(lo + PAGE_WORDS, size)
+                if p_dirty[page]:
+                    old = p_pages[page]
+                    if words[lo:hi] != old:
+                        stores.extend(
+                            (i, words[i])
+                            for i in range(lo, hi)
+                            if words[i] != old[i - lo]
+                        )
+                else:
+                    new_dirty.append(page)
+                    if good is not None and words[lo:hi] != good[lo:hi]:
+                        stores.extend(
+                            (i, words[i])
+                            for i in range(lo, hi)
+                            if words[i] != good[i]
+                        )
+            live_free = {k: tuple(v) for k, v in image._free_lists.items()}
+            alloc = (
+                image._alloc_ptr if image._alloc_ptr != p_alloc else None
+            )
+            free = (
+                tuple(live_free.items()) if live_free != p_free else None
+            )
+            if stores or new_dirty or alloc is not None or free is not None:
+                images.append(
+                    (image, tuple(stores), tuple(new_dirty), alloc, free)
+                )
+
+        ops = []
+        for root_key, slots in pre["roots"].items():
+            tag = root_key[0]
+            if tag == "comp":
+                root = kernel.components[root_key[1]]
+                live_slots = {
+                    attr: value
+                    for attr, value in root.__dict__.items()
+                    if attr not in _COMPONENT_SKIP
+                    and not attr.startswith("_sealed")
+                }
+            elif tag == "cstub":
+                root = kernel._stubs[root_key[1:]]
+                live_slots = {
+                    attr: getattr(root, attr)
+                    for attr in _CLIENT_STUB_ATTRS
+                    if hasattr(root, attr)
+                }
+            else:
+                root = kernel._server_stubs[root_key[1]]
+                live_slots = {
+                    attr: getattr(root, attr)
+                    for attr in _SERVER_STUB_ATTRS
+                    if hasattr(root, attr)
+                }
+            root_ops: List[tuple] = []
+            for attr in slots:
+                if attr not in live_slots:
+                    root_ops.append(("del", (("a", attr),), None))
+            for attr, value in live_slots.items():
+                _diff_slot(slots.get(attr), value, (("a", attr),), root_ops)
+            ops.extend((root, op) for op in root_ops)
+
+        unit = Unit()
+        unit.kind = kind
+        unit.okind = kind
+        unit.sig = sig
+        unit.start_clock = start
+        unit.end_clock = kernel.clock.now
+        unit.retval = result
+        unit.threads_delta = tuple(threads_delta)
+        unit.regs_end = tuple(regs_end)
+        unit.stats_delta = stats_delta
+        unit.tc_delta = tc_delta
+        unit.ic_delta = ic_delta
+        unit.ic_map = dict(ic_delta)
+        unit.armed_hits = dict(self._hits)
+        unit.images = tuple(images)
+        unit.ops = tuple(ops)
+        unit.wakes = tuple(wakes)
+        unit.stub = (
+            kernel._stubs.get((sig[1], sig[2])) if kind == "invoke" else None
+        )
+        return unit
+
+    # -- completion ------------------------------------------------------
+    def finish(self, meta: dict) -> Optional[Recording]:
+        """Validate and seal the recording; ``None`` if the run failed."""
+        if self.failed is not None:
+            return None
+        kernel = self.kernel
+        if kernel.crashed is not None or kernel.last_run_exhausted:
+            return None
+        if kernel.booter is not None and kernel.booter.reboot_log:
+            return None
+        recorder = kernel.recorder
+        if recorder.enabled:
+            recorder.emit(
+                "super_trace_record",
+                units=len(self.units),
+                replayable=sum(
+                    1 for u in self.units if u.kind != "bypass"
+                ),
+                service=str(meta.get("service", "")),
+            )
+        return Recording(list(self.units), kernel, dict(meta))
+
+
+def _is_scalar_result(result) -> bool:
+    if isinstance(result, _SCALARS):
+        return True
+    return isinstance(result, tuple) and all(
+        isinstance(v, _SCALARS) for v in result
+    )
+
+
+# ---------------------------------------------------------------------------
+# Replay session
+# ---------------------------------------------------------------------------
+
+class ReplaySession:
+    """Attached to a kernel for one run; replays the recording prefix."""
+
+    __slots__ = ("recording", "cursor", "diverged", "busy")
+
+    def __init__(self, recording: Recording):
+        self.recording = recording
+        self.cursor = 0
+        self.diverged = False
+        self.busy = False
+
+    # -- kernel hooks ----------------------------------------------------
+    def on_invoke(self, kernel, thread, action):
+        if not self.diverged:
+            units = self.recording.units
+            cursor = self.cursor
+            if cursor < len(units):
+                unit = units[cursor]
+                if unit.okind == "invoke" and unit.sig == (
+                    thread.tid,
+                    thread.executing_in or thread.home,
+                    action.server,
+                    action.fn,
+                    action.args,
+                ):
+                    if unit.kind == "bypass":
+                        return self._run_bypass(
+                            unit, kernel,
+                            lambda: kernel._invoke_impl(thread, action),
+                        )
+                    fast = unit.fast
+                    if fast is not None:
+                        result = fast(kernel, thread)
+                        if result is not _NO:
+                            self.cursor = cursor + 1
+                            return result
+                    elif self._guard(kernel, unit):
+                        self.cursor = cursor + 1
+                        self._apply(kernel, unit)
+                        thread._last_stub = unit.stub
+                        kernel.stats["super_trace_runs"] += 1
+                        return unit.retval
+            self.diverged = True
+        kernel.stats["super_trace_bypasses"] += 1
+        self.busy = True
+        try:
+            return kernel._invoke_impl(thread, action)
+        finally:
+            self.busy = False
+
+    def on_unblock(self, kernel, thread, stub, action, value):
+        if not self.diverged:
+            units = self.recording.units
+            cursor = self.cursor
+            if cursor < len(units):
+                unit = units[cursor]
+                if unit.okind == "unblock" and unit.sig == (
+                    thread.tid,
+                    getattr(stub, "client", None),
+                    getattr(stub, "server", None),
+                    action.fn,
+                    action.args,
+                    value if isinstance(value, _SCALARS) else "<nonscalar>",
+                ):
+                    if unit.kind == "bypass":
+                        return self._run_bypass(
+                            unit, kernel,
+                            lambda: stub.post_unblock(
+                                kernel, thread, action.fn, action.args, value
+                            ),
+                        )
+                    fast = unit.fast
+                    if fast is not None:
+                        result = fast(kernel, thread)
+                        if result is not _NO:
+                            self.cursor = cursor + 1
+                            return result
+                    elif self._guard(kernel, unit):
+                        self.cursor = cursor + 1
+                        self._apply(kernel, unit)
+                        kernel.stats["super_trace_runs"] += 1
+                        return unit.retval
+            self.diverged = True
+        kernel.stats["super_trace_bypasses"] += 1
+        self.busy = True
+        try:
+            return stub.post_unblock(
+                kernel, thread, action.fn, action.args, value
+            )
+        finally:
+            self.busy = False
+
+    # -- bypass units ----------------------------------------------------
+    def _run_bypass(self, unit: Unit, kernel, body):
+        """Execute a recorded bypass unit authoritatively, verifying the
+        run is still on the recording's clock trajectory afterwards."""
+        if kernel.clock.now != unit.start_clock:
+            self.diverged = True
+            kernel.stats["super_trace_bypasses"] += 1
+            self.busy = True
+            try:
+                return body()
+            finally:
+                self.busy = False
+        self.cursor += 1
+        kernel.stats["super_trace_bypasses"] += 1
+        self.busy = True
+        try:
+            result = body()
+        except BlockThread:
+            if kernel.clock.now != unit.end_clock:
+                self.diverged = True
+            raise
+        finally:
+            self.busy = False
+        if kernel.clock.now != unit.end_clock:
+            self.diverged = True
+        return result
+
+    # -- guard -----------------------------------------------------------
+    def _guard(self, kernel, unit: Unit) -> bool:
+        if kernel.clock.now != unit.start_clock:
+            return False
+        if kernel.crashed is not None:
+            return False
+        booter = kernel.booter
+        if booter is not None and booter.reboot_log:
+            return False
+        swifi = kernel.swifi
+        if swifi is not None:
+            if swifi.delivered:
+                return False
+            if swifi._idl_ret_pending is not None:
+                return False
+            if swifi._burst_remaining:
+                return False
+            pending = swifi.pending
+            if pending is not None:
+                hits = unit.armed_hits.get(pending.component, 0)
+                if pending.seen + hits > pending.after_executions:
+                    return False
+            idl = swifi._idl_pending
+            if idl is not None:
+                delta = unit.ic_map.get(idl[0], 0)
+                if idl[2] + delta > idl[1]:
+                    return False
+        threads = kernel.threads
+        for tid, value, blocked_in, token, has_stub in unit.wakes:
+            t = threads.get(tid)
+            if t is None or t.state is not ThreadState.BLOCKED:
+                return False
+            if t.blocked_in != blocked_in or t.block_token != token:
+                return False
+            if (
+                t.block_stub is not None and t.block_invoke is not None
+            ) != has_stub:
+                return False
+        for tid, __ in unit.regs_end:
+            t = threads.get(tid)
+            if t is None or True in t.regs.taint:
+                return False
+        for image, __, __, __, __ in unit.images:
+            if image._taint_count:
+                return False
+        return True
+
+    # -- apply -----------------------------------------------------------
+    def _apply(self, kernel, unit: Unit) -> None:
+        kernel.clock.now += unit.end_clock - unit.start_clock
+        threads = kernel.threads
+        for tid, dc, di in unit.threads_delta:
+            t = threads[tid]
+            t.cycles += dc
+            t.invocations += di
+        for tid, values in unit.regs_end:
+            threads[tid].regs.values[:] = values
+        stats = kernel.stats
+        for key, delta in unit.stats_delta:
+            stats[key] += delta
+        swifi = kernel.swifi
+        if swifi is not None:
+            tc = swifi.trace_counts
+            for component, delta in unit.tc_delta:
+                tc[component] = tc.get(component, 0) + delta
+            ic = swifi.invoke_counts
+            for server, delta in unit.ic_delta:
+                ic[server] = ic.get(server, 0) + delta
+            pending = swifi.pending
+            if pending is not None:
+                hits = unit.armed_hits.get(pending.component)
+                if hits:
+                    pending.seen += hits
+            idl = swifi._idl_pending
+            if idl is not None:
+                delta = unit.ic_map.get(idl[0])
+                if delta:
+                    idl[2] += delta
+        for image, stores, new_dirty, alloc, free in unit.images:
+            words = image.words
+            for index, value in stores:
+                words[index] = value
+            dirty = image._dirty
+            for page in new_dirty:
+                dirty[page] = 1
+            if alloc is not None:
+                image._alloc_ptr = alloc
+            if free is not None:
+                lists = image._free_lists
+                lists.clear()
+                for nwords, addrs in free:
+                    lists[nwords] = list(addrs)
+        for root, op in unit.ops:
+            _apply_op(root, op)
+        for tid, value, __, __, __ in unit.wakes:
+            t = threads[tid]
+            t.state = ThreadState.READY
+            t.blocked_in = None
+            t.block_token = None
+            t.block_on_wake = None
+            stub = t.block_stub
+            t.block_stub = None
+            action = t.block_invoke
+            t.block_invoke = None
+            if stub is not None and action is not None:
+                t.pending = ("unblock", stub, action, value)
+            else:
+                t.pending = ("value", value)
+
+
+# ---------------------------------------------------------------------------
+# Per-process recording registry
+# ---------------------------------------------------------------------------
+
+class SuperTraceRegistry:
+    """Process-global cache of recordings, keyed by run-spec identity.
+
+    A recording binds the sealed pooled system it was made on (its
+    units hold direct image/stub references), so entries are validated
+    against the live system object and rebuilt if the pool was cleared.
+    A failed build is cached as ``None`` so every run of that spec
+    falls back to the authoritative path instead of re-recording.
+    """
+
+    def __init__(self):
+        self._entries: Dict[tuple, Tuple[object, Optional[Recording]]] = {}
+        self.stats = {"builds": 0, "failed_builds": 0, "hits": 0}
+
+    def lookup(self, key: tuple, system) -> Tuple[bool, Optional[Recording]]:
+        entry = self._entries.get(key)
+        if entry is None or entry[0] is not system:
+            return False, None
+        self.stats["hits"] += 1
+        return True, entry[1]
+
+    def store(self, key: tuple, system, recording: Optional[Recording]):
+        self._entries[key] = (system, recording)
+        if recording is None:
+            self.stats["failed_builds"] += 1
+        else:
+            self.stats["builds"] += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Process-wide registry used by the campaign drivers.
+REGISTRY = SuperTraceRegistry()

@@ -60,6 +60,9 @@ EVENT_FIELDS: Dict[str, FrozenSet[str]] = {
     "trace_exec": frozenset({"component", "label", "fast", "injected", "cycles"}),
     "trace_build": frozenset({"component", "label", "ops"}),
     "fastpath_compile": frozenset({"component", "label", "ops"}),
+    # Tier-3 super-trace recording sealed (build-time only, once per
+    # run spec — never emitted per replayed unit).
+    "super_trace_record": frozenset({"units", "replayable", "service"}),
 }
 
 #: Per-event optional fields (present only when known at emit time).

@@ -132,6 +132,11 @@ def _describe(event: Dict[str, object]) -> str:
         return f"trace-build   {d['component']}/{d['label']} ({d['ops']} ops)"
     if name == "fastpath_compile":
         return f"fast-compile  {d['component']}/{d['label']} ({d['ops']} ops)"
+    if name == "super_trace_record":
+        return (
+            f"super-trace   sealed {d['units']} units "
+            f"({d['replayable']} replayable) for {d['service']}"
+        )
     return f"{name}  {d}"
 
 

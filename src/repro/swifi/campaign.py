@@ -27,7 +27,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import ReproError, SimulatedFault, SystemHang
+from repro.composite.supertrace import (
+    REGISTRY,
+    RecordingSession,
+    ReplaySession,
+    super_trace_enabled,
+)
+from repro.errors import BlockThread, ReproError, SimulatedFault, SystemHang
 from repro.observe import tracing_enabled
 from repro.swifi.classify import Outcome, OutcomeCounter
 from repro.swifi.injector import FAULT_CLASSES, SwifiController
@@ -131,7 +137,8 @@ def execute_run_traced(spec: RunSpec, run_seed: int):
         for stat in (
             "invocations", "upcalls", "faults_vectored", "micro_reboots",
             "steps", "interp_fast_runs", "interp_slow_runs",
-            "trace_cache_hits", "trace_cache_misses", "budget_exhausted",
+            "trace_cache_hits", "trace_cache_misses",
+            "super_trace_runs", "super_trace_bypasses", "budget_exhausted",
         ):
             metrics.counter(stat).inc(system.kernel.stats[stat])
         metrics.counter("runs").inc()
@@ -185,13 +192,89 @@ def _arm_for_class(swifi: SwifiController, spec: RunSpec, point: int) -> None:
         raise ValueError(f"unknown fault class {spec.fault_class!r}")
 
 
+def _campaign_recording(spec: RunSpec):
+    """The super-trace recording for this spec, built once per process.
+
+    Recordings exist only for pooled, untraced campaigns: a recording's
+    units hold direct references into the sealed pooled system (images,
+    stubs), so fresh-per-run and flight-recorder runs always execute on
+    the authoritative two-tier path — which is also what makes
+    ``REPRO_SUPER_TRACE=0/1 × REPRO_SYSTEM_POOL=0/1`` artifacts
+    byte-identical by construction.  A failed build is cached as None so
+    the campaign never retries it.
+    """
+    if not (
+        super_trace_enabled() and pooling_enabled() and not tracing_enabled()
+    ):
+        return None
+    key = (spec.service, spec.ft_mode, spec.iterations, spec.recovery_mode)
+    system = GLOBAL_POOL.peek(
+        ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode
+    )
+    if system is not None:
+        found, recording = REGISTRY.lookup(key, system)
+        if found:
+            return recording
+    recording = _build_recording(spec)
+    system = GLOBAL_POOL.peek(
+        ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode
+    )
+    REGISTRY.store(key, system, recording)
+    return recording
+
+
+def _build_recording(spec: RunSpec):
+    """Record the spec's clean (fault-free) invocation sequence.
+
+    Two warm-up passes bring the pooled system's trace caches and
+    exec-compiled fast paths to steady state (the fast path compiles
+    after two clean runs), so the recorded per-unit statistics match the
+    warm state every pooled campaign run executes in.  Any anomaly —
+    workload failure, crash, reboot, exhausted budget — aborts to None:
+    the campaign then runs fully authoritative, never approximated.
+    """
+    workload = workload_for(spec.service)
+    session = None
+    try:
+        for warm in range(3):
+            system = _campaign_system(spec.ft_mode, spec.recovery_mode)
+            kernel = system.kernel
+            swifi = SwifiController(kernel, seed=0)  # never armed
+            handle = workload.install(system, iterations=spec.iterations)
+            if warm == 2:
+                session = RecordingSession(kernel)
+                session.instrument(swifi)
+                kernel._supertrace = session
+            try:
+                system.run(max_steps=MAX_STEPS)
+            finally:
+                kernel._supertrace = None
+            if (
+                not handle.check()
+                or kernel.crashed is not None
+                or kernel.budget_exhausted
+                or system.booter.reboots > 0
+            ):
+                return None
+    except (SystemHang, SimulatedFault, ReproError, BlockThread):
+        return None
+    return session.finish(
+        {"service": spec.service, "ft_mode": spec.ft_mode,
+         "iterations": spec.iterations, "recovery_mode": spec.recovery_mode}
+    )
+
+
 def _drive_run(spec: RunSpec, run_seed: int):
     """Boot (or pool-restore) a system, inject per the spec, run it."""
+    recording = _campaign_recording(spec)
     system = _campaign_system(spec.ft_mode, spec.recovery_mode)
-    swifi = SwifiController(system.kernel, seed=run_seed)
+    kernel = system.kernel
+    swifi = SwifiController(kernel, seed=run_seed)
     workload = workload_for(spec.service)
     handle = workload.install(system, iterations=spec.iterations)
     _arm_for_class(swifi, spec, injection_point(run_seed, spec.horizon))
+    if recording is not None and recording.kernel is kernel:
+        kernel._supertrace = ReplaySession(recording)
     crash: Optional[BaseException] = None
     steps = 0
     try:
@@ -209,8 +292,10 @@ def _drive_run(spec: RunSpec, run_seed: int):
         # fault, not harness bugs: classify them instead of killing the
         # whole campaign.
         crash = error
-    if system.kernel.crashed is not None and crash is None:
-        crash = system.kernel.crashed
+    finally:
+        kernel._supertrace = None
+    if kernel.crashed is not None and crash is None:
+        crash = kernel.crashed
     outcome = classify_run(spec.ft_mode, system, swifi, handle, crash, steps)
     return outcome, system, swifi, steps, handle
 

@@ -20,15 +20,20 @@ Table II campaign.
 
 from __future__ import annotations
 
-import functools
 import json
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.observe import export as trace_export
 from repro.observe.metrics import canonical_metrics, merge_metrics
-from repro.swifi.campaign import RunSpec, execute_run, execute_run_traced
+from repro.swifi.campaign import (
+    RunSpec,
+    _campaign_recording,
+    execute_run,
+    execute_run_traced,
+)
 from repro.swifi.classify import Outcome, OutcomeCounter
 from repro.system import GLOBAL_POOL, compile_all_interfaces, pooling_enabled
 
@@ -42,6 +47,29 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+def worker_start_method() -> str:
+    """The process-pool start method: ``REPRO_WORKER_START`` or auto.
+
+    ``fork`` is the zero-copy path: the parent pays all per-process
+    setup once (IDL compilation, pooled boot + seal, the super-trace
+    recording), and forked workers inherit the sealed ``array('I')``
+    images and compiled units copy-on-write — no per-worker boot, no
+    re-pickling.  ``spawn`` keeps the per-worker initializer (each
+    worker boots its own pooled system), which is also the clean
+    fallback wherever fork is unavailable; an explicit
+    ``REPRO_WORKER_START=fork`` on such a platform degrades to spawn
+    rather than failing.
+    """
+    choice = os.environ.get("REPRO_WORKER_START", "auto")
+    if choice == "spawn":
+        return "spawn"
+    return (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+
+
 def chunk_seeds(seeds: Sequence[int], workers: int) -> List[List[int]]:
     """Split the seed schedule into contiguous chunks for distribution."""
     if not seeds:
@@ -51,22 +79,36 @@ def chunk_seeds(seeds: Sequence[int], workers: int) -> List[List[int]]:
     return [list(seeds[i:i + size]) for i in range(0, len(seeds), size)]
 
 
-def _init_campaign_worker(spec: RunSpec) -> None:
-    """Process-pool initializer: pay all per-process setup costs once.
+#: Worker-side campaign parameters, set once by the chunk initializer.
+#: Chunks then carry only seed lists: the spec crosses the process
+#: boundary exactly once per worker (spawn) or zero times (fork — the
+#: parent runs the initializer and workers inherit everything COW).
+_WORKER_SPEC: Optional[RunSpec] = None
+_WORKER_TRACE: bool = False
+
+
+def _init_campaign_worker(spec: RunSpec, trace: bool = False) -> None:
+    """Campaign initializer: pay all per-process setup costs once.
 
     Without this, every worker lazily recompiled the six IDL interfaces
     on its first run (the ``compile_all_interfaces`` cache is
     per-process and starts cold) and built a system per run.  Here each
-    worker compiles once and — when pooling is enabled — boots and seals
-    its pooled system before the first chunk arrives, so chunk wall
-    times measure injection runs, not setup.
+    process compiles once and — when pooling is enabled — boots and
+    seals its pooled system and builds the spec's super-trace recording
+    before the first chunk arrives, so chunk wall times measure
+    injection runs, not setup.  Under fork this runs in the *parent*
+    and workers inherit the whole warm state copy-on-write.
     """
+    global _WORKER_SPEC, _WORKER_TRACE
+    _WORKER_SPEC = spec
+    _WORKER_TRACE = trace
     if spec.ft_mode == "superglue":
         compile_all_interfaces()
-    if pooling_enabled():
+    if not trace and pooling_enabled():
         GLOBAL_POOL.acquire(
             ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode
         )
+        _campaign_recording(spec)
 
 
 def fan_out_chunks(
@@ -79,43 +121,58 @@ def fan_out_chunks(
 ) -> None:
     """Fan ``execute`` out over chunked seeds — the shared campaign core.
 
-    ``execute(seeds)`` must be a picklable callable (a module-level
-    function or a :func:`functools.partial` of one) returning one result
-    per seed; ``on_batch(results)`` is invoked in the parent as each
-    chunk completes (completion order — callers that need determinism
-    merge by seed afterwards, as :func:`run_campaign` does).  With
-    ``workers <= 1`` or at most one pending seed, everything runs
-    in-process seed-by-seed with no pool overhead but the identical
-    per-run code path.  Used by both the SWIFI table campaigns and the
-    web-server Fig. 7 campaign.
+    ``execute(seeds)`` must be a picklable module-level function taking
+    only the chunk's seed list (per-campaign parameters travel through
+    ``initializer(*initargs)``, never per chunk) and returning one
+    result per seed; ``on_batch(results)`` is invoked in the parent as
+    each chunk completes (completion order — callers that need
+    determinism merge by seed afterwards, as :func:`run_campaign`
+    does).  With ``workers <= 1`` or at most one pending seed, the
+    initializer runs in-process and everything executes seed-by-seed
+    with no pool overhead but the identical per-run code path.  Under
+    the ``fork`` start method (see :func:`worker_start_method`) the
+    initializer also runs in the parent, *before* the pool exists, so
+    forked workers inherit its work — sealed pooled system, compiled
+    interfaces, super-trace recording — copy-on-write instead of
+    rebuilding it per worker.  Used by both the SWIFI table campaigns
+    and the web-server Fig. 7 campaign.
     """
     if workers <= 1 or len(pending) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         for seed in pending:
             on_batch(execute([seed]))
         return
     chunks = chunk_seeds(pending, workers)
+    method = worker_start_method()
+    pool_initializer, pool_initargs = initializer, initargs
+    if method == "fork" and initializer is not None:
+        initializer(*initargs)
+        pool_initializer, pool_initargs = None, ()
     with ProcessPoolExecutor(
         max_workers=workers,
-        initializer=initializer,
-        initargs=initargs,
+        mp_context=multiprocessing.get_context(method),
+        initializer=pool_initializer,
+        initargs=pool_initargs,
     ) as pool:
         futures = [pool.submit(execute, chunk) for chunk in chunks]
         for future in as_completed(futures):
             on_batch(future.result())
 
 
-def _execute_chunk(
-    spec: RunSpec, seeds: List[int], trace: bool = False
-) -> List[Tuple[int, str, Optional[dict]]]:
+def _execute_chunk(seeds: List[int]) -> List[Tuple[int, str, Optional[dict]]]:
     """Worker entry point: execute one chunk of runs.
 
-    Returns ``(run_seed, outcome.value, run_record_or_None)`` triples —
-    plain strings/dicts, not enum members, so results serialise cheaply
-    across the process boundary and into the journal.  With ``trace``
-    set, each run executes under the flight recorder and ships its event
-    journal + per-run metrics back to the parent, which merges and
-    exports them deterministically.
+    Reads the campaign parameters from the initializer-set module
+    globals — the submitted payload is just the seed list.  Returns
+    ``(run_seed, outcome.value, run_record_or_None)`` triples — plain
+    strings/dicts, not enum members, so results serialise cheaply
+    across the process boundary and into the journal.  With the trace
+    flag set, each run executes under the flight recorder and ships its
+    event journal + per-run metrics back to the parent, which merges
+    and exports them deterministically.
     """
+    spec, trace = _WORKER_SPEC, _WORKER_TRACE
     if not trace:
         return [(seed, execute_run(spec, seed).value, None) for seed in seeds]
     results: List[Tuple[int, str, Optional[dict]]] = []
@@ -226,11 +283,11 @@ def run_campaign(
                 progress(completed, total, outcomes[run_seed])
 
     fan_out_chunks(
-        functools.partial(_execute_chunk, spec, trace=tracing),
+        _execute_chunk,
         pending,
         workers,
         initializer=_init_campaign_worker,
-        initargs=(spec,),
+        initargs=(spec, tracing),
         on_batch=note,
     )
 

@@ -183,6 +183,10 @@ _FINGERPRINT_SKIP = frozenset(
         "_exports",
         "_trace_cache",
         "_track_traces",
+        # Perf bookkeeping, not run-visible state: the pooled-restore
+        # skip flag and the stub-method lookup memo.
+        "_ran",
+        "_stub_methods",
     }
 )
 
@@ -302,22 +306,40 @@ class SystemSnapshot:
         kernel.pool_seal()
         for component in kernel.components.values():
             component.pool_seal()
+        # Restore is the pooled campaign's per-run hot path: bind the
+        # restorable set once at seal time instead of re-enumerating
+        # (and hasattr-probing) components and stubs on every run.
+        restorables = list(kernel.components.values())
+        restorables += [
+            stub
+            for stub in kernel.all_client_stubs().values()
+            if hasattr(stub, "pool_restore")
+        ]
+        restorables += [
+            stub
+            for stub in kernel.all_server_stubs().values()
+            if hasattr(stub, "pool_restore")
+        ]
+        restorables.append(system.booter)
+        if system.recovery_manager is not None:
+            restorables.append(system.recovery_manager)
+        # Components (and stubs) skip their restore when the previous run
+        # never touched them.  Debug mode wants the opposite: exercise
+        # the full restore path every run so the fingerprint diff checks
+        # the durable sealed copies too, not just the touched subset.
+        if os.environ.get("REPRO_POOL_DEBUG") == "1":
+            self._pool_restores = tuple(
+                getattr(r, "_pool_restore_impl", r.pool_restore)
+                for r in restorables
+            )
+        else:
+            self._pool_restores = tuple(r.pool_restore for r in restorables)
 
     def restore(self) -> System:
         system = self.system
-        kernel = system.kernel
-        kernel.pool_restore()
-        for component in kernel.components.values():
-            component.pool_restore()
-        for stub in kernel.all_client_stubs().values():
-            if hasattr(stub, "pool_restore"):
-                stub.pool_restore()
-        for stub in kernel.all_server_stubs().values():
-            if hasattr(stub, "pool_restore"):
-                stub.pool_restore()
-        system.booter.pool_restore()
-        if system.recovery_manager is not None:
-            system.recovery_manager.pool_restore()
+        system.kernel.pool_restore()
+        for pool_restore in self._pool_restores:
+            pool_restore()
         self.restores += 1
         return system
 
@@ -392,6 +414,30 @@ class SystemPool:
                     f"({len(diffs)} differences): {detail}"
                 )
         return system
+
+    def peek(
+        self,
+        ft_mode: str = "superglue",
+        apps=DEFAULT_APPS,
+        recovery_mode: str = "ondemand",
+        prepare: Optional[Callable[[System], None]] = None,
+    ) -> Optional[System]:
+        """The pooled system for these parameters, *without* restoring.
+
+        Identity-only lookup for caches that key state to a specific
+        pooled system object (e.g. the super-trace registry): a restore
+        here would double the per-run restore cost for nothing.
+        """
+        key = (
+            ft_mode,
+            tuple(apps),
+            recovery_mode,
+            None
+            if prepare is None
+            else f"{prepare.__module__}.{prepare.__qualname__}",
+        )
+        snapshot = self._snapshots.get(key)
+        return None if snapshot is None else snapshot.system
 
     def clear(self) -> None:
         self._snapshots.clear()

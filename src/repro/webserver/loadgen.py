@@ -140,6 +140,7 @@ def run_webserver(
     max_steps: int = 5_000_000,
     system=None,
     warn_shortfall: bool = True,
+    progress_hook=None,
 ) -> LoadResult:
     """Build a system, serve ``n_requests``, and measure throughput.
 
@@ -152,6 +153,11 @@ def run_webserver(
     pre-built system; the web-server application components must already
     be registered on it (see
     :func:`repro.webserver.server.register_webserver_components`).
+
+    ``progress_hook`` installs an ``on_served`` observer on fault-free
+    runs (ignored with ``with_faults``, which owns the hook) — the
+    super-trace recorder uses it to mark the units where a faulted run
+    would arm, without perturbing the clean execution.
     """
     if system is None:
         system = build_system(ft_mode=ft_mode)
@@ -181,6 +187,8 @@ def run_webserver(
                     armed["count"] += 1
 
         server.on_served = arm_on_progress
+    elif progress_hook is not None:
+        server.on_served = progress_hook
 
     crashed: Optional[str] = None
     try:
