@@ -4,7 +4,7 @@ PY ?= python3
 # Worker-pool size for the SWIFI campaign (0 = all CPUs).
 WORKERS ?= 0
 
-.PHONY: install test lint bench perf profile campaign fault-classes fig7 fig7-campaign examples clean
+.PHONY: install test lint bench perf profile campaign fault-classes fig7 fig7-campaign cluster examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -59,6 +59,20 @@ fault-classes:
 			/tmp/table2_$${fc}_smoke.json \
 			benchmarks/baselines/table2_$${fc}_smoke.json || exit 1; \
 	done
+
+# Simulated multi-node cluster campaign, checked against its committed
+# baseline — the local equivalent of the nightly `cluster-smoke` CI job.
+# NODES/KILLS/SEEDS/UNITS overridable.
+NODES ?= 4
+KILLS ?= 1
+CLUSTER_SEEDS ?= 16
+UNITS ?= 12
+cluster:
+	PYTHONPATH=src $(PY) -m repro cluster --nodes $(NODES) \
+		--faults $(KILLS) --seeds $(CLUSTER_SEEDS) --units $(UNITS) \
+		--seed 7 --workers $(WORKERS) --json /tmp/cluster_smoke.json
+	$(PY) scripts/check_cluster_baseline.py /tmp/cluster_smoke.json \
+		benchmarks/baselines/cluster_smoke.json
 
 fig7:
 	$(PY) -m repro fig7 --requests 2000

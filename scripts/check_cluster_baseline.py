@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Check a cluster campaign JSON artifact against committed bounds.
+
+Usage:  python scripts/check_cluster_baseline.py ARTIFACT BASELINE
+
+ARTIFACT is the output of ``python -m repro cluster --json PATH``;
+BASELINE is ``benchmarks/baselines/cluster_smoke.json``.  Exits
+non-zero if the artifact's fingerprint or scenario count does not match
+the baseline, if the aggregate availability or recovery ratio drifts
+outside its recorded band, or if any scenario violates the structural
+failover invariant (every kill round must produce at least one failover
+and one whole-node reboot, and availability must account for every
+failed-over unit).
+"""
+
+import json
+import sys
+
+
+def check(artifact_path: str, baseline_path: str) -> int:
+    with open(artifact_path, "r", encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    failures = []
+    if artifact["fingerprint"] != baseline["fingerprint"]:
+        failures.append(
+            f"fingerprint {artifact['fingerprint']!r} != "
+            f"{baseline['fingerprint']!r}"
+        )
+    aggregate = artifact["aggregate"]
+    if aggregate["scenarios"] != baseline["scenarios"]:
+        failures.append(
+            f"scenarios {aggregate['scenarios']} != {baseline['scenarios']}"
+        )
+    bounds = baseline["bounds"]
+    for metric in ("availability", "recovery_ratio"):
+        lo, hi = bounds[metric]
+        value = aggregate[metric]
+        if not lo <= value <= hi:
+            failures.append(f"{metric} {value:.4f} outside [{lo}, {hi}]")
+    if aggregate["failovers"] < bounds["min_failovers"]:
+        failures.append(
+            f"failovers {aggregate['failovers']} < {bounds['min_failovers']}"
+        )
+    if aggregate["node_reboots"] < bounds["min_node_reboots"]:
+        failures.append(
+            f"node_reboots {aggregate['node_reboots']} < "
+            f"{bounds['min_node_reboots']}"
+        )
+    if aggregate["evictions"] > bounds["max_evictions"]:
+        failures.append(
+            f"evictions {aggregate['evictions']} > {bounds['max_evictions']}"
+        )
+
+    # Structural invariants, per scenario: a kill round always fails the
+    # interrupted unit over (or emergency-reboots in place) and always
+    # whole-node-reboots the victims; availability is defined as the
+    # fraction of unit slots served by their original placement.
+    n_kill = artifact["spec"]["n_kill"]
+    for row in artifact["rows"]:
+        seed = row["scenario_seed"]
+        if n_kill >= 1:
+            if row["node_reboots"] < 1:
+                failures.append(f"scenario {seed}: no whole-node reboot")
+            if row["failovers"] < 1 and row["outcome"] != "ok":
+                failures.append(f"scenario {seed}: no failover recorded")
+            if len(row["victims"]) != n_kill:
+                failures.append(
+                    f"scenario {seed}: {len(row['victims'])} victims "
+                    f"!= n_kill {n_kill}"
+                )
+        expected = (row["units"] - row["failovers"]) / row["units"]
+        if abs(row["availability"] - expected) > 1e-12:
+            failures.append(
+                f"scenario {seed}: availability {row['availability']} "
+                f"inconsistent with failovers"
+            )
+
+    print(
+        f"scenarios={aggregate['scenarios']} units={aggregate['units']} "
+        f"failovers={aggregate['failovers']} "
+        f"node_reboots={aggregate['node_reboots']} "
+        f"availability={aggregate['availability']:.2%} "
+        f"recovery={aggregate['recovery_ratio']:.2%}"
+    )
+    if failures:
+        print("\nBASELINE CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbaseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        raise SystemExit(2)
+    raise SystemExit(check(sys.argv[1], sys.argv[2]))

@@ -16,6 +16,7 @@ import statistics
 from typing import Dict, List
 
 from repro.composite.scheduler import cycles_to_us
+from repro.errors import ReproError, SimulatedFault
 from repro.swifi.injector import SwifiController
 from repro.system import build_system
 from repro.workloads import workload_for
@@ -77,6 +78,7 @@ def measure_recovery_overhead(
     recovery-cost samples the stubs report to the recovery manager.
     """
     samples: List[float] = []
+    runs_dropped = 0
     workload = workload_for(service)
     for index in range(runs):
         system = build_system(ft_mode=ft_mode)
@@ -85,10 +87,16 @@ def measure_recovery_overhead(
         swifi.arm(service, after_executions=index % 8)
         try:
             system.run(max_steps=200_000)
-        except Exception:
+        except (SimulatedFault, ReproError):
+            # The injected fault escaped recovery (crash, propagation,
+            # hang, ...): that run yields no recovery samples.  Count it
+            # instead of silently deflating the sample set — anything
+            # *else* (a TypeError, say) is a harness bug and propagates.
+            runs_dropped += 1
             continue
         manager = system.recovery_manager
         if manager is None:
+            runs_dropped += 1
             continue
         for cycles in manager.recovery_samples.get(service, []):
             samples.append(cycles_to_us(cycles))
@@ -97,6 +105,7 @@ def measure_recovery_overhead(
             "service": service,
             "ft_mode": ft_mode,
             "samples": 0,
+            "runs_dropped": runs_dropped,
             "mean_us": 0.0,
             "stdev_us": 0.0,
         }
@@ -104,6 +113,7 @@ def measure_recovery_overhead(
         "service": service,
         "ft_mode": ft_mode,
         "samples": len(samples),
+        "runs_dropped": runs_dropped,
         "mean_us": statistics.fmean(samples),
         "stdev_us": statistics.pstdev(samples),
     }

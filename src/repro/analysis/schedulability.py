@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 from repro.composite.kernel import INVOCATION_CYCLES
 from repro.composite.memory import DEFAULT_IMAGE_WORDS
 from repro.core.compiler.ir import InterfaceIR
+from repro.errors import RecoveryError
 
 #: Conservative per-replayed-invocation cost: kernel path + server work +
 #: client-side bookkeeping (cycles).
@@ -105,7 +106,11 @@ def worst_case_state(ir: InterfaceIR) -> str:
             continue
         try:
             length = len(ir.sm.recovery_walk(fn.name))
-        except Exception:
+        except RecoveryError:
+            # No path from the initial state reaches this state (e.g. a
+            # modeled-but-unreachable transition): it cannot be a
+            # descriptor's recovery target, so it cannot be the worst
+            # case.  Anything else (a harness bug) must propagate.
             continue
         if length > worst_len:
             worst, worst_len = fn.name, length

@@ -1,0 +1,38 @@
+"""Simulated multi-node cluster: a cell of live Systems plus supervision.
+
+SuperGlue recovers individual components via micro-reboot + replay; this
+package asks the next question — what happens when the *substrate*
+fails — following ReHype's "recover the substrate, not just the
+service" insight.  A :class:`~repro.cluster.cell.Cell` hosts N simulated
+nodes in one process (each a pooled
+:class:`~repro.system.System` with a private instance-keyed snapshot), a
+:class:`~repro.cluster.cell.Supervisor` health-checks them through
+flight-recorder metrics (crash / budget-exhaustion / recovery-cycle
+counters), and a :class:`~repro.cluster.cell.Scheduler` places workload
+units, fails them over when a node dies, evicts unhealthy nodes, and
+whole-node-reboots them through the pool's ~5us dirty-restore path.
+
+Campaigns (``python -m repro cluster``) drive correlated node failures
+under SWIFI injection and preserve the repository's determinism
+contract: scenario outcomes are pure functions of ``(spec, seed)``, and
+campaign artifacts are byte-identical serial vs parallel workers and
+pooled vs fresh systems.
+"""
+
+from repro.cluster.campaign import (  # noqa: F401
+    ClusterCampaignResult,
+    ClusterSpec,
+    aggregate_cluster_rows,
+    calibrate_cluster_spec,
+    cluster_run_seeds,
+    execute_scenario,
+    format_cluster_campaign,
+    run_cluster_campaign,
+)
+from repro.cluster.cell import (  # noqa: F401
+    NODE_REBOOT_CYCLES,
+    Cell,
+    Scheduler,
+    Supervisor,
+)
+from repro.cluster.node import Node  # noqa: F401

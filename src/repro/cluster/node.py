@@ -1,0 +1,161 @@
+"""A simulated cluster node: one pooled System plus health accounting.
+
+Each node owns a *private* sealed snapshot in the process-wide
+:data:`~repro.system.GLOBAL_POOL`, keyed by the node id through the
+pool's ``instance`` parameter — N nodes means N live Systems in one
+process, none of them clobbering another's sealed image.  A node runs
+workload units through the SWIFI campaign's ``_drive_run`` path, so a
+unit's outcome is the same pure function of ``(RunSpec, unit_seed)``
+the flat campaigns compute — which is exactly what makes failover
+sound: re-executing a killed node's unit on any other node yields the
+identical outcome.
+
+Health is tracked in a :class:`~repro.observe.metrics.MetricsRegistry`
+— the flight recorder's integer-only registry — folding only
+*outcome-invariant* kernel counters (faults vectored, micro-reboots,
+budget exhaustion) plus per-outcome tallies and recovery-cycle
+samples.  Engine counters that warm caches shift between pooled and
+fresh systems (trace-cache hits, fast-path runs) are deliberately
+excluded so supervisor decisions stay identical across pooling modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.observe.metrics import MetricsRegistry
+from repro.swifi.campaign import RunSpec, _drive_run
+from repro.swifi.classify import Outcome
+from repro.system import GLOBAL_POOL, System, build_system, pooling_enabled
+
+#: Outcomes the supervisor counts as node-degrading crashes.
+FATAL_OUTCOMES = frozenset(
+    {
+        Outcome.NOT_RECOVERED_SEGFAULT,
+        Outcome.NOT_RECOVERED_PROPAGATED,
+        Outcome.NOT_RECOVERED_OTHER,
+    }
+)
+
+
+class Node:
+    """One simulated node of a cluster cell."""
+
+    def __init__(self, node_id: int, ft_mode: str, recovery_mode: str):
+        self.node_id = node_id
+        self.name = f"node{node_id}"
+        self.ft_mode = ft_mode
+        self.recovery_mode = recovery_mode
+        #: Marked by the scenario's correlated-failure round; cleared by
+        #: the whole-node reboot.
+        self.killed = False
+        #: Whole-node reboots over the node's lifetime (not reset per
+        #: scenario reboot — the cell resets it per scenario).
+        self.reboots = 0
+        self.units_run = 0
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    def acquire_system(self) -> System:
+        """This node's System, restored to its sealed post-boot state.
+
+        Pooled by default — the pool key carries ``instance=(cluster,
+        node_id)`` so every node holds its own snapshot — with the same
+        fresh-build fallback (``REPRO_SYSTEM_POOL=0``) the flat
+        campaigns use.  ``REPRO_POOL_DEBUG=1`` therefore verifies every
+        node restore against a fresh build, which is what the
+        whole-node-reboot differential test leans on.
+        """
+        if pooling_enabled():
+            return GLOBAL_POOL.acquire(
+                ft_mode=self.ft_mode,
+                recovery_mode=self.recovery_mode,
+                instance=("cluster", self.node_id),
+            )
+        return build_system(
+            ft_mode=self.ft_mode, recovery_mode=self.recovery_mode
+        )
+
+    # ------------------------------------------------------------------
+    def run_unit(
+        self, spec: RunSpec, unit_seed: int
+    ) -> Tuple[Outcome, int, int]:
+        """Execute one workload unit; returns ``(outcome, steps, cycles)``.
+
+        ``cycles`` is the unit's virtual duration (the kernel clock at
+        the end of the run) — the cell clock advances by it, keeping
+        cluster timelines wall-clock-free and therefore deterministic.
+        """
+        system = self.acquire_system()
+        outcome, system, __, steps, __ = _drive_run(
+            spec, unit_seed, system=system
+        )
+        self.units_run += 1
+        self._fold_health(system, outcome)
+        return outcome, steps, system.kernel.clock.now
+
+    def _fold_health(self, system: System, outcome: Outcome) -> None:
+        """Fold one unit's outcome-invariant counters into node health."""
+        metrics = self.metrics
+        kernel = system.kernel
+        metrics.counter("units").inc()
+        metrics.counter(f"outcome_{outcome.value}").inc()
+        if outcome in FATAL_OUTCOMES:
+            metrics.counter("crashes").inc()
+        metrics.counter("faults_vectored").inc(
+            kernel.stats["faults_vectored"]
+        )
+        metrics.counter("micro_reboots").inc(kernel.stats["micro_reboots"])
+        metrics.counter("budget_exhausted").inc(
+            kernel.stats["budget_exhausted"]
+        )
+        manager = system.recovery_manager
+        if manager is not None:
+            hist = metrics.histogram("recovery_cycles")
+            for samples in manager.recovery_samples.values():
+                for cycles in samples:
+                    hist.observe(cycles)
+
+    # ------------------------------------------------------------------
+    def crash_count(self) -> int:
+        """Fatal outcomes since the last whole-node reboot."""
+        return self.metrics.counter("crashes").value
+
+    def reboot(self) -> None:
+        """Whole-node reboot: seal-restore the entire System.
+
+        With pooling on this is the pool's ~5us dirty-restore of the
+        node's private snapshot; with pooling off the next
+        :meth:`acquire_system` builds fresh, which is the same
+        post-boot state by construction.  Either way the node's health
+        window resets — a rebooted node is a healthy node.
+        """
+        if pooling_enabled():
+            snapshot = GLOBAL_POOL.snapshot_for(
+                ft_mode=self.ft_mode,
+                recovery_mode=self.recovery_mode,
+                instance=("cluster", self.node_id),
+            )
+            if snapshot is not None:
+                snapshot.restore()
+        self.killed = False
+        self.reboots += 1
+        self.metrics = MetricsRegistry()
+
+    def reset(self) -> None:
+        """Reset all scenario-scoped state (cell reuse across scenarios)."""
+        self.killed = False
+        self.reboots = 0
+        self.units_run = 0
+        self.metrics = MetricsRegistry()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Node {self.name} killed={self.killed} "
+            f"units={self.units_run} reboots={self.reboots}>"
+        )
+
+
+#: Snapshot identity helper used by tests and the campaign initializer.
+def node_pool_instance(node_id: int) -> Optional[tuple]:
+    return ("cluster", node_id)

@@ -222,10 +222,16 @@ class Component:
                 kernel.stats["interp_slow_runs"] += 1
             else:
                 kernel.stats["interp_fast_runs"] += 1
-        except Exception:
-            # Even a faulting trace consumed time; approximate with the
-            # full-trace cost before the fault unwinds.
-            kernel.charge(thread, 3 * len(trace))
+        except Exception as exc:
+            # A faulting trace still consumed time.  The trace engines
+            # stamp the exact cycle count on the fault as it unwinds;
+            # only faults raised before any op ran (entry guards,
+            # harness errors) lack it, and those fall back to the
+            # conservative whole-trace estimate.
+            consumed = getattr(exc, "cycles_consumed", None)
+            kernel.charge(
+                thread, 3 * len(trace) if consumed is None else consumed
+            )
             raise
         if traced:
             recorder.emit(

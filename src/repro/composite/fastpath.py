@@ -116,40 +116,65 @@ def _make_fault_helpers(component_name: str) -> dict:
     The clean path carries no taint, so a stack access through a bad
     ESP/EBP can only be an untainted (recoverable) segmentation fault —
     the SystemCrash arm of ``_check_addr`` is unreachable here.
+
+    Each helper receives the statically folded partial cycle total and
+    the faulting op index (literals in the generated code, so the clean
+    path pays nothing for them) and stamps them onto the fault, keeping
+    fast-path faults cycle-accountable exactly like the slow path's.
     """
 
-    def oob(addr: int, reg: int):
-        raise SegmentationFault(
-            f"access to unmapped address {addr:#x} "
-            f"(via {REG_NAMES[reg]})",
-            component=component_name,
+    def _stamp(fault, consumed: int, op_index: int):
+        fault.cycles_consumed = consumed
+        fault.op_index = op_index
+        raise fault
+
+    def oob(addr: int, reg: int, consumed: int, op_index: int):
+        _stamp(
+            SegmentationFault(
+                f"access to unmapped address {addr:#x} "
+                f"(via {REG_NAMES[reg]})",
+                component=component_name,
+            ),
+            consumed, op_index,
         )
 
-    def chk_fail(addr: int, word: int, magic: int):
-        raise CorruptionDetected(
-            f"magic check failed at {addr:#x}: "
-            f"{word:#x} != {magic:#x}",
-            component=component_name,
+    def chk_fail(addr: int, word: int, magic: int, consumed: int, op_index: int):
+        _stamp(
+            CorruptionDetected(
+                f"magic check failed at {addr:#x}: "
+                f"{word:#x} != {magic:#x}",
+                component=component_name,
+            ),
+            consumed, op_index,
         )
 
-    def assert_eq_fail(reg: int, value: int, imm: int):
-        raise AssertionFault(
-            f"assertion failed: {REG_NAMES[reg]}="
-            f"{value:#x} != {imm:#x}",
-            component=component_name,
+    def assert_eq_fail(reg: int, value: int, imm: int, consumed: int, op_index: int):
+        _stamp(
+            AssertionFault(
+                f"assertion failed: {REG_NAMES[reg]}="
+                f"{value:#x} != {imm:#x}",
+                component=component_name,
+            ),
+            consumed, op_index,
         )
 
-    def assert_range_fail(reg: int, value: int, lo: int, hi: int):
-        raise AssertionFault(
-            f"range assertion failed: {REG_NAMES[reg]}="
-            f"{value:#x} not in [{lo:#x}, {hi:#x}]",
-            component=component_name,
+    def assert_range_fail(reg: int, value: int, lo: int, hi: int, consumed: int, op_index: int):
+        _stamp(
+            AssertionFault(
+                f"range assertion failed: {REG_NAMES[reg]}="
+                f"{value:#x} not in [{lo:#x}, {hi:#x}]",
+                component=component_name,
+            ),
+            consumed, op_index,
         )
 
-    def hang(iters: int):
-        raise SystemHang(
-            f"loop bound {iters:#x} exceeds hang budget",
-            component=component_name,
+    def hang(iters: int, consumed: int, op_index: int):
+        _stamp(
+            SystemHang(
+                f"loop bound {iters:#x} exceeds hang budget",
+                component=component_name,
+            ),
+            consumed, op_index,
         )
 
     return {
@@ -182,21 +207,27 @@ def compile_trace(trace: Trace, memory, component_name: str = "?") -> FastProgra
     has_loop = False
     n_ops = 0
 
-    for op in trace.ops:
+    for op_index, op in enumerate(trace.ops):
         code = op[0]
         cycles += OP_CYCLES[code]
         n_ops += 1
+        # Cycles consumed if this op faults, folded into the generated
+        # fault calls as a literal (plus the dynamic loop term once a
+        # loop op has appeared) — mirrors the slow path's accounting.
+        part = f"{cycles} + cyc" if has_loop or code == "loop" else str(cycles)
         if code == "li":
             emit(f"    v[{op[1]}] = {op[2]}")
         elif code == "mov":
             emit(f"    v[{op[1]}] = v[{op[2]}]")
         elif code == "ld":
             emit(f"    x = (v[{op[2]}] + {op[3]}) & {WORD_MASK}")
-            emit(f"    if not {base} <= x < {end}: _oob(x, {op[2]})")
+            emit(f"    if not {base} <= x < {end}: "
+                 f"_oob(x, {op[2]}, {part}, {op_index})")
             emit(f"    v[{op[1]}] = w[x - {base}]")
         elif code == "st":
             emit(f"    x = (v[{op[2]}] + {op[3]}) & {WORD_MASK}")
-            emit(f"    if not {base} <= x < {end}: _oob(x, {op[2]})")
+            emit(f"    if not {base} <= x < {end}: "
+                 f"_oob(x, {op[2]}, {part}, {op_index})")
             emit(f"    x -= {base}")
             emit(f"    w[x] = v[{op[1]}]")
             emit(f"    d[x >> {PAGE_SHIFT}] = 1")
@@ -208,30 +239,34 @@ def compile_trace(trace: Trace, memory, component_name: str = "?") -> FastProgra
             emit(f"    v[{op[1]}] ^= v[{op[2]}]")
         elif code == "chk":
             emit(f"    x = (v[{op[1]}] + {op[2]}) & {WORD_MASK}")
-            emit(f"    if not {base} <= x < {end}: _oob(x, {op[1]})")
+            emit(f"    if not {base} <= x < {end}: "
+                 f"_oob(x, {op[1]}, {part}, {op_index})")
             emit(f"    if w[x - {base}] != {op[3]}: "
-                 f"_chk_fail(x, w[x - {base}], {op[3]})")
+                 f"_chk_fail(x, w[x - {base}], {op[3]}, {part}, {op_index})")
         elif code == "assert_eq":
             emit(f"    if v[{op[1]}] != {op[2]}: "
-                 f"_aeq_fail({op[1]}, v[{op[1]}], {op[2]})")
+                 f"_aeq_fail({op[1]}, v[{op[1]}], {op[2]}, {part}, {op_index})")
         elif code == "assert_range":
             emit(f"    if not {op[2]} <= v[{op[1]}] <= {op[3]}: "
-                 f"_arange_fail({op[1]}, v[{op[1]}], {op[2]}, {op[3]})")
+                 f"_arange_fail({op[1]}, v[{op[1]}], {op[2]}, {op[3]}, "
+                 f"{part}, {op_index})")
         elif code == "loop":
             has_loop = True
             emit(f"    n = v[{op[1]}]")
-            emit(f"    if n > {HANG_LIMIT}: _hang(n)")
+            emit(f"    if n > {HANG_LIMIT}: _hang(n, {part}, {op_index})")
             emit(f"    cyc += n * {op[2]}")
         elif code == "push":
             emit(f"    x = (v[{ESP}] - 1) & {WORD_MASK}")
             emit(f"    v[{ESP}] = x")
-            emit(f"    if not {base} <= x < {end}: _oob(x, {ESP})")
+            emit(f"    if not {base} <= x < {end}: "
+                 f"_oob(x, {ESP}, {part}, {op_index})")
             emit(f"    x -= {base}")
             emit(f"    w[x] = v[{op[1]}]")
             emit(f"    d[x >> {PAGE_SHIFT}] = 1")
         elif code == "pop":
             emit(f"    x = v[{ESP}]")
-            emit(f"    if not {base} <= x < {end}: _oob(x, {ESP})")
+            emit(f"    if not {base} <= x < {end}: "
+                 f"_oob(x, {ESP}, {part}, {op_index})")
             emit(f"    v[{op[1]}] = w[x - {base}]")
             emit(f"    v[{ESP}] = (x + 1) & {WORD_MASK}")
         elif code == "ret":

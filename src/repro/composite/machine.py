@@ -29,6 +29,7 @@ from repro.errors import (
     AssertionFault,
     CorruptionDetected,
     SegmentationFault,
+    SimulatedFault,
     SystemCrash,
     SystemHang,
 )
@@ -266,88 +267,99 @@ def execute_trace(
     if injection is not None and not injection.applied:
         inj_index = min(injection.op_index, max(len(trace.ops) - 1, 0))
 
-    for index, op in enumerate(trace.ops):
-        if index == inj_index:
-            regs.flip_bit(injection.reg, injection.bit)
-            injection.applied = True
-        code = op[0]
-        cycles += OP_CYCLES[code]
+    index = -1
+    try:
+        for index, op in enumerate(trace.ops):
+            if index == inj_index:
+                regs.flip_bit(injection.reg, injection.bit)
+                injection.applied = True
+            code = op[0]
+            cycles += OP_CYCLES[code]
 
-        if code == "li":
-            values[op[1]] = op[2]
-            taint[op[1]] = False
-        elif code == "mov":
-            values[op[1]] = values[op[2]]
-            taint[op[1]] = taint[op[2]]
-        elif code == "ld":
-            addr = (values[op[2]] + op[3]) & WORD_MASK
-            _check_addr(addr, memory, component_name, op[2], taint[op[2]], store=False)
-            values[op[1]] = memory.read_word(addr)
-            taint[op[1]] = taint[op[2]] or memory.is_tainted(addr)
-        elif code == "st":
-            addr = (values[op[2]] + op[3]) & WORD_MASK
-            _check_addr(addr, memory, component_name, op[2], taint[op[2]], store=True)
-            tainted_store = taint[op[1]] or taint[op[2]]
-            memory.write_word(addr, values[op[1]], tainted=tainted_store)
-            if tainted_store:
-                stores_tainted += 1
-        elif code == "add":
-            values[op[1]] = (values[op[1]] + values[op[2]]) & WORD_MASK
-            taint[op[1]] = taint[op[1]] or taint[op[2]]
-        elif code == "addi":
-            values[op[1]] = (values[op[1]] + op[2]) & WORD_MASK
-        elif code == "xor":
-            values[op[1]] = values[op[1]] ^ values[op[2]]
-            taint[op[1]] = taint[op[1]] or taint[op[2]]
-        elif code == "chk":
-            addr = (values[op[1]] + op[2]) & WORD_MASK
-            _check_addr(addr, memory, component_name, op[1], taint[op[1]], store=False)
-            word = memory.read_word(addr)
-            if word != op[3]:
-                raise CorruptionDetected(
-                    f"magic check failed at {addr:#x}: "
-                    f"{word:#x} != {op[3]:#x}",
-                    component=component_name,
-                )
-        elif code == "assert_eq":
-            if values[op[1]] != op[2]:
-                raise AssertionFault(
-                    f"assertion failed: {REG_NAMES[op[1]]}="
-                    f"{values[op[1]]:#x} != {op[2]:#x}",
-                    component=component_name,
-                )
-        elif code == "assert_range":
-            if not (op[2] <= values[op[1]] <= op[3]):
-                raise AssertionFault(
-                    f"range assertion failed: {REG_NAMES[op[1]]}="
-                    f"{values[op[1]]:#x} not in [{op[2]:#x}, {op[3]:#x}]",
-                    component=component_name,
-                )
-        elif code == "loop":
-            iters = values[op[1]]
-            if iters > HANG_LIMIT:
-                raise SystemHang(
-                    f"loop bound {iters:#x} exceeds hang budget",
-                    component=component_name,
-                )
-            cycles += iters * op[2]
-        elif code == "push":
-            values[ESP] = (values[ESP] - 1) & WORD_MASK
-            addr = values[ESP]
-            _check_addr(addr, memory, component_name, ESP, taint[ESP], store=True)
-            memory.write_word(addr, values[op[1]], tainted=taint[op[1]] or taint[ESP])
-        elif code == "pop":
-            addr = values[ESP]
-            _check_addr(addr, memory, component_name, ESP, taint[ESP], store=False)
-            values[op[1]] = memory.read_word(addr)
-            taint[op[1]] = taint[ESP] or memory.is_tainted(addr)
-            values[ESP] = (values[ESP] + 1) & WORD_MASK
-        elif code == "ret":
-            ret_value = values[op[1]]
-            ret_tainted = taint[op[1]]
-            break
-        else:  # pragma: no cover - defensive
-            raise AssertionError(f"unknown micro-op {code!r}")
+            if code == "li":
+                values[op[1]] = op[2]
+                taint[op[1]] = False
+            elif code == "mov":
+                values[op[1]] = values[op[2]]
+                taint[op[1]] = taint[op[2]]
+            elif code == "ld":
+                addr = (values[op[2]] + op[3]) & WORD_MASK
+                _check_addr(addr, memory, component_name, op[2], taint[op[2]], store=False)
+                values[op[1]] = memory.read_word(addr)
+                taint[op[1]] = taint[op[2]] or memory.is_tainted(addr)
+            elif code == "st":
+                addr = (values[op[2]] + op[3]) & WORD_MASK
+                _check_addr(addr, memory, component_name, op[2], taint[op[2]], store=True)
+                tainted_store = taint[op[1]] or taint[op[2]]
+                memory.write_word(addr, values[op[1]], tainted=tainted_store)
+                if tainted_store:
+                    stores_tainted += 1
+            elif code == "add":
+                values[op[1]] = (values[op[1]] + values[op[2]]) & WORD_MASK
+                taint[op[1]] = taint[op[1]] or taint[op[2]]
+            elif code == "addi":
+                values[op[1]] = (values[op[1]] + op[2]) & WORD_MASK
+            elif code == "xor":
+                values[op[1]] = values[op[1]] ^ values[op[2]]
+                taint[op[1]] = taint[op[1]] or taint[op[2]]
+            elif code == "chk":
+                addr = (values[op[1]] + op[2]) & WORD_MASK
+                _check_addr(addr, memory, component_name, op[1], taint[op[1]], store=False)
+                word = memory.read_word(addr)
+                if word != op[3]:
+                    raise CorruptionDetected(
+                        f"magic check failed at {addr:#x}: "
+                        f"{word:#x} != {op[3]:#x}",
+                        component=component_name,
+                    )
+            elif code == "assert_eq":
+                if values[op[1]] != op[2]:
+                    raise AssertionFault(
+                        f"assertion failed: {REG_NAMES[op[1]]}="
+                        f"{values[op[1]]:#x} != {op[2]:#x}",
+                        component=component_name,
+                    )
+            elif code == "assert_range":
+                if not (op[2] <= values[op[1]] <= op[3]):
+                    raise AssertionFault(
+                        f"range assertion failed: {REG_NAMES[op[1]]}="
+                        f"{values[op[1]]:#x} not in [{op[2]:#x}, {op[3]:#x}]",
+                        component=component_name,
+                    )
+            elif code == "loop":
+                iters = values[op[1]]
+                if iters > HANG_LIMIT:
+                    raise SystemHang(
+                        f"loop bound {iters:#x} exceeds hang budget",
+                        component=component_name,
+                    )
+                cycles += iters * op[2]
+            elif code == "push":
+                values[ESP] = (values[ESP] - 1) & WORD_MASK
+                addr = values[ESP]
+                _check_addr(addr, memory, component_name, ESP, taint[ESP], store=True)
+                memory.write_word(addr, values[op[1]], tainted=taint[op[1]] or taint[ESP])
+            elif code == "pop":
+                addr = values[ESP]
+                _check_addr(addr, memory, component_name, ESP, taint[ESP], store=False)
+                values[op[1]] = memory.read_word(addr)
+                taint[op[1]] = taint[ESP] or memory.is_tainted(addr)
+                values[ESP] = (values[ESP] + 1) & WORD_MASK
+            elif code == "ret":
+                ret_value = values[op[1]]
+                ret_tainted = taint[op[1]]
+                break
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown micro-op {code!r}")
+    except SimulatedFault as fault:
+        # Tell the caller how far execution actually got: the virtual
+        # time of the ops up to and including the faulting one, and the
+        # faulting op's index.  Component.execute charges exactly this
+        # instead of approximating with the full-trace cost (which
+        # overcharged first-op faults by the whole trace length).
+        fault.cycles_consumed = cycles
+        fault.op_index = index
+        raise
 
     return TraceResult(ret_value, ret_tainted, cycles, stores_tainted)
 

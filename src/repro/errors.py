@@ -69,6 +69,14 @@ class SimulatedFault(Exception):
 
     kind = "fault"
 
+    #: Filled in by the trace engines when the fault unwinds a trace
+    #: execution: virtual cycles consumed up to (and including) the
+    #: faulting micro-op, and that op's index.  ``None`` for faults
+    #: raised outside trace execution — the caller then falls back to
+    #: its conservative whole-trace estimate.
+    cycles_consumed = None
+    op_index = None
+
     def __init__(self, message: str, component: str = "?", recoverable: bool = True):
         super().__init__(message)
         self.component = component

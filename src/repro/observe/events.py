@@ -63,6 +63,13 @@ EVENT_FIELDS: Dict[str, FrozenSet[str]] = {
     # Tier-3 super-trace recording sealed (build-time only, once per
     # run spec — never emitted per replayed unit).
     "super_trace_record": frozenset({"units", "replayable", "service"}),
+    # -- cluster supervision (node-level lifecycle) ----------------------
+    "node_kill": frozenset({"node", "unit"}),
+    "unit_failover": frozenset({"unit", "from_node", "to_node"}),
+    "node_evict": frozenset({"node", "unit", "reason"}),
+    "node_reboot": frozenset({"node", "unit", "cost_cycles", "epoch"}),
+    "node_rejoin": frozenset({"node", "unit"}),
+    "unit_done": frozenset({"node", "unit", "outcome", "cycles"}),
 }
 
 #: Per-event optional fields (present only when known at emit time).

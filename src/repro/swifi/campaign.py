@@ -264,10 +264,21 @@ def _build_recording(spec: RunSpec):
     )
 
 
-def _drive_run(spec: RunSpec, run_seed: int):
-    """Boot (or pool-restore) a system, inject per the spec, run it."""
-    recording = _campaign_recording(spec)
-    system = _campaign_system(spec.ft_mode, spec.recovery_mode)
+def _drive_run(spec: RunSpec, run_seed: int, system=None):
+    """Boot (or pool-restore) a system, inject per the spec, run it.
+
+    ``system`` lets a caller that manages its own systems — the cluster
+    layer's simulated nodes, each holding a private instance-keyed pool
+    snapshot — drive a run through the exact campaign path.  Such runs
+    always execute on the authoritative two-tier engine: super-trace
+    recordings bind direct references into *this process's shared*
+    pooled system, which a caller-supplied one is not.
+    """
+    if system is None:
+        recording = _campaign_recording(spec)
+        system = _campaign_system(spec.ft_mode, spec.recovery_mode)
+    else:
+        recording = None
     kernel = system.kernel
     swifi = SwifiController(kernel, seed=run_seed)
     workload = workload_for(spec.service)

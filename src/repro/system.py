@@ -384,7 +384,16 @@ class SystemPool:
         apps=DEFAULT_APPS,
         recovery_mode: str = "ondemand",
         prepare: Optional[Callable[[System], None]] = None,
+        instance: Optional[object] = None,
     ) -> System:
+        """Acquire a sealed system, building on first use.
+
+        ``instance`` distinguishes otherwise-identical systems that must
+        coexist live in one process — e.g. the simulated nodes of a
+        cluster cell each pass their node id, so each node owns a
+        private snapshot instead of all nodes sharing (and clobbering)
+        one pooled image.
+        """
         key = (
             ft_mode,
             tuple(apps),
@@ -392,6 +401,7 @@ class SystemPool:
             None
             if prepare is None
             else f"{prepare.__module__}.{prepare.__qualname__}",
+            instance,
         )
         snapshot = self._snapshots.get(key)
         if snapshot is None:
@@ -421,6 +431,7 @@ class SystemPool:
         apps=DEFAULT_APPS,
         recovery_mode: str = "ondemand",
         prepare: Optional[Callable[[System], None]] = None,
+        instance: Optional[object] = None,
     ) -> Optional[System]:
         """The pooled system for these parameters, *without* restoring.
 
@@ -435,9 +446,35 @@ class SystemPool:
             None
             if prepare is None
             else f"{prepare.__module__}.{prepare.__qualname__}",
+            instance,
         )
         snapshot = self._snapshots.get(key)
         return None if snapshot is None else snapshot.system
+
+    def snapshot_for(
+        self,
+        ft_mode: str = "superglue",
+        apps=DEFAULT_APPS,
+        recovery_mode: str = "ondemand",
+        prepare: Optional[Callable[[System], None]] = None,
+        instance: Optional[object] = None,
+    ) -> Optional[SystemSnapshot]:
+        """The sealed snapshot for these parameters, if one exists.
+
+        The cluster supervisor uses this to whole-node reboot: restoring
+        a node's snapshot *is* the node reboot (dirty-page restore of
+        every component image plus per-run structure resets).
+        """
+        key = (
+            ft_mode,
+            tuple(apps),
+            recovery_mode,
+            None
+            if prepare is None
+            else f"{prepare.__module__}.{prepare.__qualname__}",
+            instance,
+        )
+        return self._snapshots.get(key)
 
     def clear(self) -> None:
         self._snapshots.clear()

@@ -5,8 +5,17 @@ import pytest
 from repro.composite.app import AppComponent
 from repro.composite.booter import Booter
 from repro.composite.component import Component, export
+from repro.composite.fastpath import compile_trace
 from repro.composite.kernel import Kernel
-from repro.composite.machine import EAX, Trace, TraceResult
+from repro.composite.machine import (
+    EAX,
+    EBX,
+    OP_CYCLES,
+    RegisterFile,
+    Trace,
+    TraceResult,
+    execute_trace,
+)
 from repro.errors import AssertionFault, CapabilityError, PropagatedFault, ReproError
 
 
@@ -95,6 +104,77 @@ class TestExecute:
         trace = Trace().ret(EAX)
         trace.entry_regs = {EAX: 123}
         assert tiny.execute(thread, trace).value == 123
+
+
+class TestFaultCycleCharge:
+    """A faulting trace is charged for the ops that actually ran."""
+
+    def _thread(self, kernel):
+        return kernel.create_thread(
+            "t", prio=1, home="app0", body_factory=lambda s, t: iter(())
+        )
+
+    def _first_op_fault_trace(self):
+        # Fails at op 0 (EAX starts at 0); the padding ops never run,
+        # so the old 3 * len(trace) estimate overcharged ~30x.
+        trace = Trace().assert_eq(EAX, 1)
+        for _ in range(20):
+            trace.li(EBX, 1)
+        return trace.ret(EAX)
+
+    def test_first_op_fault_charges_only_first_op(self, kernel):
+        tiny = kernel.component("tiny")
+        thread = self._thread(kernel)
+        trace = self._first_op_fault_trace()
+        before = thread.cycles
+        with pytest.raises(AssertionFault) as excinfo:
+            tiny.execute(thread, trace)
+        charged = thread.cycles - before
+        assert excinfo.value.op_index == 0
+        assert charged == OP_CYCLES["assert_eq"]
+        assert charged < 3 * len(trace)
+
+    def test_mid_trace_fault_charges_through_faulting_op(self, kernel):
+        tiny = kernel.component("tiny")
+        thread = self._thread(kernel)
+        trace = Trace().li(EBX, 5).li(EBX, 6).assert_eq(EAX, 1).ret(EAX)
+        before = thread.cycles
+        with pytest.raises(AssertionFault) as excinfo:
+            tiny.execute(thread, trace)
+        charged = thread.cycles - before
+        assert excinfo.value.op_index == 2
+        assert charged == 2 * OP_CYCLES["li"] + OP_CYCLES["assert_eq"]
+
+    def test_fault_without_cycle_stamp_falls_back_to_estimate(
+        self, kernel, monkeypatch
+    ):
+        # An exception raised before any op ran carries no cycle stamp:
+        # the conservative whole-trace estimate still applies.
+        import repro.composite.component as component_mod
+
+        def exploding(*args, **kwargs):
+            raise RuntimeError("raised before any op ran")
+
+        monkeypatch.setattr(component_mod, "try_execute_fast", exploding)
+        tiny = kernel.component("tiny")
+        thread = self._thread(kernel)
+        trace = Trace().ret(EAX)
+        before = thread.cycles
+        with pytest.raises(RuntimeError):
+            tiny.execute(thread, trace)
+        assert thread.cycles - before == 3 * len(trace)
+
+    def test_fast_path_stamps_same_cycles_as_interpreter(self, kernel):
+        tiny = kernel.component("tiny")
+        trace = self._first_op_fault_trace()
+        with pytest.raises(AssertionFault) as slow:
+            execute_trace(trace, RegisterFile(), tiny.image,
+                          component_name="tiny")
+        program = compile_trace(trace, tiny.image, "tiny")
+        with pytest.raises(AssertionFault) as fast:
+            program.run([0] * 8, tiny.image.words, tiny.image._dirty)
+        assert slow.value.cycles_consumed == fast.value.cycles_consumed
+        assert slow.value.op_index == fast.value.op_index == 0
 
 
 class TestCheckReturn:

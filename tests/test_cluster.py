@@ -1,0 +1,232 @@
+"""Cluster supervision: differential and determinism guarantees.
+
+Three claims back the cluster layer, each tested differentially:
+
+* a **whole-node reboot** (the pool's dirty-restore of a node's private
+  instance-keyed snapshot) leaves the node's System structurally
+  indistinguishable from a fresh build — the same bar the flat
+  campaigns hold the shared pooled system to;
+* **supervision is deterministic** — scenario rows (including the
+  supervisor's eviction decisions and the scheduler's failover targets)
+  are pure functions of ``(ClusterSpec, scenario_seed)``, identical
+  across repeats, cells, and pooling modes; and
+* **failover is sound** — a killed node's workload re-executes on a
+  survivor with campaign artifacts byte-identical across worker counts,
+  and every unit outcome matches what the flat campaign computes for
+  the same ``(RunSpec, unit_seed)``.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    Cell,
+    ClusterSpec,
+    NODE_REBOOT_CYCLES,
+    Node,
+    Scheduler,
+    Supervisor,
+    aggregate_cluster_rows,
+    cluster_run_seeds,
+    execute_scenario,
+    run_cluster_campaign,
+)
+from repro.cluster.campaign import execute_scenario_traced
+from repro.observe.events import validate_event
+from repro.swifi.campaign import execute_run
+from repro.system import SystemPool, system_fingerprint
+
+
+def _spec(**overrides):
+    defaults = dict(
+        service="lock",
+        ft_mode="superglue",
+        n_nodes=3,
+        n_kill=1,
+        units=6,
+        iterations=4,
+        horizon=17,
+        evict_threshold=2,
+        cooldown=2,
+    )
+    defaults.update(overrides)
+    return ClusterSpec(**defaults)
+
+
+class TestSpec:
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            _spec(n_nodes=1)
+        with pytest.raises(ValueError):
+            _spec(n_kill=3)  # must leave at least one survivor
+        with pytest.raises(ValueError):
+            _spec(units=0)
+        with pytest.raises(ValueError):
+            _spec(fault_class="cosmic")
+
+    def test_fingerprint_carries_every_axis(self):
+        fp = _spec().fingerprint()
+        for fragment in ("cluster/lock", "n3", "k1", "u6", "h17", "e2", "c2"):
+            assert fragment in fp
+
+    def test_seed_schedule_matches_campaign_stride(self):
+        assert cluster_run_seeds(7, 3) == [7000021, 7000022, 7000023]
+
+
+class TestWholeNodeReboot:
+    def test_reboot_restores_fresh_build_state(self, monkeypatch):
+        """A rebooted node is structurally a fresh build (dirty work gone).
+
+        The node runs real injected units (dirtying images, stub tables,
+        kernel counters), whole-node reboots, and the restored System's
+        structural fingerprint must equal a never-used build's.
+        """
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
+        pool = SystemPool()
+        monkeypatch.setattr("repro.cluster.node.GLOBAL_POOL", pool)
+        node = Node(0, "superglue", "ondemand")
+        spec = _spec().run_spec()
+        for unit_seed in (31, 32, 33):
+            node.run_unit(spec, unit_seed)
+        node.killed = True
+        node.reboot()
+        snapshot = pool.snapshot_for(instance=("cluster", 0))
+        assert snapshot is not None
+        assert snapshot.diff_against_fresh() == []
+        assert not node.killed
+        assert node.crash_count() == 0
+
+    def test_pool_debug_verifies_every_node_restore(self, monkeypatch):
+        """REPRO_POOL_DEBUG=1 fingerprints each node acquire vs fresh."""
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
+        monkeypatch.setenv("REPRO_POOL_DEBUG", "1")
+        monkeypatch.setattr("repro.cluster.node.GLOBAL_POOL", SystemPool())
+        node = Node(1, "superglue", "ondemand")
+        spec = _spec().run_spec()
+        # Each acquire past the first runs the debug diff; a divergent
+        # restore would raise ReproError out of run_unit.
+        for unit_seed in (41, 42, 43):
+            node.run_unit(spec, unit_seed)
+
+    def test_nodes_hold_private_pool_snapshots(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
+        monkeypatch.setattr("repro.cluster.node.GLOBAL_POOL", SystemPool())
+        a = Node(0, "superglue", "ondemand").acquire_system()
+        b = Node(1, "superglue", "ondemand").acquire_system()
+        assert a is not b
+        # Same sealed post-boot state, distinct live objects: this is
+        # what makes unit outcomes node-independent.
+        assert system_fingerprint(a) == system_fingerprint(b)
+
+
+class TestSupervisionDeterminism:
+    def test_rows_pure_function_of_spec_and_seed(self):
+        spec = _spec()
+        first = execute_scenario(spec, 9000021)
+        second = execute_scenario(spec, 9000021)
+        assert first == second
+
+    def test_cell_reuse_does_not_leak_across_scenarios(self):
+        spec = _spec()
+        cell = Cell(spec)
+        reused = [cell.run_scenario(s) for s in (501, 502, 501)]
+        assert reused[0] == reused[2]
+        assert reused[0] == execute_scenario(spec, 501)
+
+    def test_eviction_decisions_identical_pooled_and_fresh(self, monkeypatch):
+        spec = _spec(n_kill=2, units=8)
+        seeds = cluster_run_seeds(11, 4)
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "0")
+        fresh = [execute_scenario(spec, s) for s in seeds]
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
+        pooled = [execute_scenario(spec, s) for s in seeds]
+        assert pooled == fresh
+
+    def test_supervisor_reads_only_health_counters(self):
+        supervisor = Supervisor(evict_threshold=2)
+        node = Node(0, "superglue", "ondemand")
+        assert supervisor.healthy(node)
+        node.metrics.counter("crashes").inc(2)
+        assert not supervisor.healthy(node)
+        assert supervisor.verdict(node) == "crash_threshold"
+        node.killed = True
+        assert supervisor.verdict(node) == "killed"
+
+    def test_scheduler_round_robin_and_failover(self):
+        nodes = [Node(i, "superglue", "ondemand") for i in range(3)]
+        scheduler = Scheduler(nodes)
+        assert [scheduler.place().node_id for _ in range(4)] == [0, 1, 2, 0]
+        nodes[1].killed = True
+        survivor = scheduler.place_surviving()
+        assert survivor is not None and not survivor.killed
+        for node in nodes:
+            node.killed = True
+        assert scheduler.place_surviving() is None
+
+
+class TestFailover:
+    def test_every_scenario_fails_over_and_reboots(self):
+        """Acceptance bar: >=1 failover and >=1 whole-node reboot each."""
+        spec = _spec()
+        for seed in cluster_run_seeds(13, 6):
+            row = execute_scenario(spec, seed)
+            assert row["outcome"] == "failover"
+            assert row["failovers"] >= 1
+            assert row["node_reboots"] >= 1
+            assert row["victims"]  # the placed node is always a victim
+            assert row["duration_cycles"] >= (
+                row["node_reboots"] * NODE_REBOOT_CYCLES
+            )
+
+    def test_artifacts_byte_identical_across_worker_counts(self):
+        spec = _spec(units=4)
+        seeds = cluster_run_seeds(17, 4)
+        serial = run_cluster_campaign(seeds, spec, workers=1)
+        parallel = run_cluster_campaign(seeds, spec, workers=2)
+        assert json.dumps(serial.to_json_dict()) == json.dumps(
+            parallel.to_json_dict()
+        )
+
+    def test_unit_outcomes_match_flat_campaign(self):
+        """Cluster units == flat campaign runs for the same (spec, seed).
+
+        This is the soundness argument for failover: any node (or the
+        flat campaign itself) computes the identical outcome for a unit,
+        so re-running a dead node's unit on a survivor loses nothing.
+        """
+        spec = _spec()
+        run_spec = spec.run_spec()
+        scenario_seed = 19000021
+        row = execute_scenario(spec, scenario_seed)
+        flat = {}
+        for unit in range(spec.units):
+            unit_seed = scenario_seed * 1_000_003 + unit
+            outcome = execute_run(run_spec, unit_seed)
+            flat[outcome.value] = flat.get(outcome.value, 0) + 1
+        assert row["outcomes"] == dict(sorted(flat.items()))
+
+
+class TestAggregateAndTrace:
+    def test_aggregate_is_order_independent(self):
+        spec = _spec(units=4)
+        rows = [execute_scenario(spec, s) for s in cluster_run_seeds(23, 3)]
+        forward = aggregate_cluster_rows(rows)
+        backward = aggregate_cluster_rows(list(reversed(rows)))
+        assert forward == backward
+        assert forward["scenarios"] == 3
+        assert forward["units"] == 12
+
+    def test_traced_scenario_validates_and_matches_untraced(self):
+        spec = _spec(n_kill=2)
+        seed = 29000021
+        row, record = execute_scenario_traced(spec, seed)
+        assert row == execute_scenario(spec, seed)
+        names = set()
+        for event in record["events"]:
+            validate_event(event["event"], event["data"])
+            names.add(event["event"])
+        assert {"node_kill", "unit_failover", "node_reboot",
+                "unit_done"} <= names
+        assert record["outcome"] == row["outcome"]
+        assert record["run_seed"] == seed

@@ -140,3 +140,10 @@ class TestAnalysis:
         result = measure_recovery_overhead("lock", runs=8)
         assert result["samples"] > 0
         assert result["mean_us"] > 0
+
+    def test_recovery_overhead_reports_dropped_runs(self):
+        # Escaped faults must be *counted*, never silently discarded:
+        # every run is accounted for as either sampled or dropped.
+        result = measure_recovery_overhead("lock", runs=8)
+        assert "runs_dropped" in result
+        assert 0 <= result["runs_dropped"] <= 8

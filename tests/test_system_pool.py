@@ -49,6 +49,7 @@ class TestRestoreEqualsFresh:
         snapshot = pool._snapshots[(spec.ft_mode,
                                     tuple(system.apps),
                                     spec.recovery_mode,
+                                    None,
                                     None)]
         # Dirty the pooled system with real injection runs, then restore.
         from repro.swifi.injector import SwifiController
