@@ -4,7 +4,7 @@ PY ?= python3
 # Worker-pool size for the SWIFI campaign (0 = all CPUs).
 WORKERS ?= 0
 
-.PHONY: install test lint bench perf profile campaign fault-classes fig7 fig7-campaign cluster examples clean
+.PHONY: install test lint bench perf throughput profile campaign fault-classes fig7 fig7-campaign cluster examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -28,6 +28,15 @@ perf:
 	$(PY) scripts/check_campaign_baseline.py /tmp/campaign_throughput.json
 	$(PY) benchmarks/bench_fig7_webserver.py --json /tmp/fig7_webserver.json
 	$(PY) scripts/check_fig7_baseline.py /tmp/fig7_webserver.json
+
+# The campaign-throughput trajectory in one command: fresh -> two-tier
+# pooled -> prefix super-traces -> tail replay (the four sweeps of
+# bench_campaign_throughput.py, outcome-identity asserted), gated
+# against the committed baseline including the replayed-unit coverage
+# floor.
+throughput:
+	$(PY) benchmarks/bench_campaign_throughput.py --json /tmp/campaign_throughput.json
+	$(PY) scripts/check_campaign_baseline.py /tmp/campaign_throughput.json
 
 # cProfile over a small campaign; SERVICE/FAULTS/SORT overridable.
 SERVICE ?= lock

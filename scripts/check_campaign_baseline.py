@@ -16,11 +16,13 @@ Two kinds of gate:
   across machines and CI runners; the gate catches order-of-magnitude
   regressions, not noise.
 * **ratio floors** (``min_pooled_over_fresh``,
-  ``min_super_trace_over_two_tier``) are machine-independent: the
-  sweeps execute the same runs on the same host, so a collapsing
-  pooled/fresh ratio always means system pooling broke or stopped
-  being used, and a collapsing super-trace/two-tier ratio means the
-  tier-3 replay engine stopped engaging.
+  ``min_super_trace_over_two_tier``, ``min_replayed_unit_coverage``)
+  are machine-independent: the sweeps execute the same runs on the
+  same host, so a collapsing pooled/fresh ratio always means system
+  pooling broke or stopped being used, a collapsing super-trace/
+  two-tier ratio means the tier-3 replay engine stopped engaging, and
+  a collapsing replayed-unit coverage means the divergence-tail cache
+  stopped recording or sharing tails.
 
 Exits non-zero on any violation.
 """
@@ -68,6 +70,7 @@ def check(artifact_path: str, baseline_path: str,
     for baseline_key, metric in (
         ("min_pooled_over_fresh", "pooled_over_fresh"),
         ("min_super_trace_over_two_tier", "super_trace_over_two_tier"),
+        ("min_replayed_unit_coverage", "replayed_unit_coverage"),
     ):
         ratio_floor = baseline.get(baseline_key)
         if ratio_floor is None:

@@ -41,7 +41,7 @@ def phase_breakdown(service: str, n_faults: int, seed: int) -> None:
     duplicated here (not instrumented in the hot path) so the campaign
     itself pays zero overhead for the existence of this tool.
     """
-    from repro.composite.supertrace import ReplaySession
+    from repro.composite.supertrace import ReplaySession, tail_replay_enabled
     from repro.errors import (
         BlockThread, ReproError, SimulatedFault, SystemHang,
     )
@@ -51,6 +51,8 @@ def phase_breakdown(service: str, n_faults: int, seed: int) -> None:
         _campaign_recording,
         _campaign_system,
         classify_run,
+        collect_coverage,
+        coverage_ratio,
         injection_point,
     )
     from repro.swifi.injector import SwifiController
@@ -89,6 +91,7 @@ def phase_breakdown(service: str, n_faults: int, seed: int) -> None:
         phases[phase] += now - since
         return now
 
+    coverage = None
     for run_seed in seeds:
         t = time.perf_counter()
         recording = _campaign_recording(spec)
@@ -103,8 +106,10 @@ def phase_breakdown(service: str, n_faults: int, seed: int) -> None:
         t = tick("workload install", t)
         _arm_for_class(swifi, spec, injection_point(run_seed, spec.horizon))
         t = tick("arm", t)
+        session = None
         if recording is not None and recording.kernel is kernel:
-            kernel._supertrace = ReplaySession(recording)
+            session = ReplaySession(recording, tails=tail_replay_enabled())
+            kernel._supertrace = session
         t = tick("recording attach", t)
         crash, steps = None, 0
         try:
@@ -113,7 +118,10 @@ def phase_breakdown(service: str, n_faults: int, seed: int) -> None:
             crash = exc
         finally:
             kernel._supertrace = None
+            if session is not None:
+                session.finalize(kernel)
         t = tick("run", t)
+        coverage = collect_coverage(kernel, coverage)
         if kernel.crashed is not None and crash is None:
             crash = kernel.crashed
         classify_run(spec.ft_mode, system, swifi, handle, crash, steps)
@@ -131,7 +139,14 @@ def phase_breakdown(service: str, n_faults: int, seed: int) -> None:
         print(f"    {name:22s} {mean_us:10.1f} us  {share:5.1f}%")
     rate = len(seeds) / total if total else 0.0
     print(f"    {'total':22s} {total / len(seeds) * 1e6:10.1f} us  "
-          f"({rate:,.0f} runs/s)\n")
+          f"({rate:,.0f} runs/s)")
+    if coverage is not None:
+        print("  supertrace coverage:")
+        for key, value in coverage.items():
+            print(f"    {key:28s} {value:10d}")
+        print(f"    {'replayed_unit_coverage':28s} "
+              f"{coverage_ratio(coverage):10.1%}")
+    print()
 
 
 def main(argv=None) -> int:

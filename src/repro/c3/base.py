@@ -47,7 +47,18 @@ class C3ClientStubBase:
             "redos": 0,
         }
 
+    def pool_pristine(self) -> bool:
+        """All per-run state at sealed values (mirrors the generated
+        stubs' predicate; see ``ClientStubRuntime.pool_pristine``)."""
+        return (
+            not self.descs
+            and self.seen_epoch == 0
+            and not any(self.stats.values())
+        )
+
     def pool_restore(self) -> None:
+        if self.pool_pristine():
+            return
         self.descs = {}
         self.seen_epoch = 0
         for key in self.stats:
@@ -162,9 +173,13 @@ class C3ServerStubBase:
         self.storage_name = storage
         self.stats = {"einval_recoveries": 0, "replays": 0}
 
+    def pool_pristine(self) -> bool:
+        return not any(self.stats.values())
+
     def pool_restore(self) -> None:
-        for key in self.stats:
-            self.stats[key] = 0
+        if not self.pool_pristine():
+            for key in self.stats:
+                self.stats[key] = 0
 
     def dispatch(self, kernel, thread, fn: str, args: Tuple):
         return self.component.dispatch(fn, thread, args)

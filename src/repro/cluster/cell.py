@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 from repro.cluster.node import Node
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.recorder import NULL_RECORDER, FlightRecorder
+from repro.swifi.campaign import COVERAGE_KEYS
 from repro.swifi.classify import Outcome
 
 #: Virtual cost of a whole-node reboot: the pool's dirty-restore is
@@ -132,6 +133,19 @@ class Cell:
         self.recorder = (
             FlightRecorder(clock=self.clock) if trace else NULL_RECORDER
         )
+
+    def coverage(self) -> Dict[str, int]:
+        """Supertrace coverage summed across nodes for the last scenario.
+
+        Sidecar-only by the campaign discipline: engine counters depend
+        on the pooling/supertrace/tail knobs, and scenario rows must
+        not.
+        """
+        total = dict.fromkeys(COVERAGE_KEYS, 0)
+        for node in self.nodes:
+            for key, value in node.coverage.items():
+                total[key] += value
+        return total
 
     def reset(self) -> None:
         """Reset scenario-scoped state (the cell is reused per worker)."""

@@ -24,7 +24,12 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.observe.metrics import MetricsRegistry
-from repro.swifi.campaign import RunSpec, _drive_run
+from repro.swifi.campaign import (
+    COVERAGE_KEYS,
+    RunSpec,
+    _drive_run,
+    collect_coverage,
+)
 from repro.swifi.classify import Outcome
 from repro.system import GLOBAL_POOL, System, build_system, pooling_enabled
 
@@ -54,6 +59,10 @@ class Node:
         self.reboots = 0
         self.units_run = 0
         self.metrics = MetricsRegistry()
+        #: Supertrace coverage summed over this node's units.  Kept
+        #: *outside* the health metrics: engine counters depend on the
+        #: pooling/supertrace knobs, and supervisor decisions must not.
+        self.coverage = dict.fromkeys(COVERAGE_KEYS, 0)
 
     # ------------------------------------------------------------------
     def acquire_system(self) -> System:
@@ -85,13 +94,25 @@ class Node:
         ``cycles`` is the unit's virtual duration (the kernel clock at
         the end of the run) — the cell clock advances by it, keeping
         cluster timelines wall-clock-free and therefore deterministic.
+
+        Pooled units go through ``_drive_run``'s ``instance`` path: the
+        run acquires this node's private snapshot *and* the super-trace
+        recording keyed to it, so node units replay (prefix + tails)
+        exactly like flat campaign runs.  With pooling off each unit
+        builds fresh and executes on the authoritative engine — same
+        outcomes, by the supertrace correctness contract.
         """
-        system = self.acquire_system()
-        outcome, system, __, steps, __ = _drive_run(
-            spec, unit_seed, system=system
-        )
+        if pooling_enabled():
+            outcome, system, __, steps, __ = _drive_run(
+                spec, unit_seed, instance=node_pool_instance(self.node_id)
+            )
+        else:
+            outcome, system, __, steps, __ = _drive_run(
+                spec, unit_seed, system=self.acquire_system()
+            )
         self.units_run += 1
         self._fold_health(system, outcome)
+        collect_coverage(system.kernel, self.coverage)
         return outcome, steps, system.kernel.clock.now
 
     def _fold_health(self, system: System, outcome: Outcome) -> None:
@@ -148,6 +169,7 @@ class Node:
         self.reboots = 0
         self.units_run = 0
         self.metrics = MetricsRegistry()
+        self.coverage = dict.fromkeys(COVERAGE_KEYS, 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -104,6 +104,22 @@ class ClientStubRuntime:
         #: getattr + f-string per call shows up in campaign profiles.
         self._stub_methods: Dict[str, Optional[Callable]] = {}
 
+    def pool_pristine(self) -> bool:
+        """Is every piece of per-run state still at its sealed value?
+
+        The predicate behind :meth:`pool_restore`'s skip — a stub the
+        run never drove needs no reset.  The tail cache's state probe
+        reuses it to encode untouched stubs as a constant marker
+        instead of deep-freezing them; both uses lean on the same
+        invariant (pristine implies sealed state), which the
+        ``REPRO_POOL_DEBUG`` restored==fresh differential enforces.
+        """
+        return (
+            self.seen_epoch == 0
+            and not self.table._entries
+            and not any(self.stats.values())
+        )
+
     def pool_restore(self) -> None:
         """Reset per-run tracking state for a pooled system restore.
 
@@ -113,11 +129,7 @@ class ClientStubRuntime:
         addresses, so reuse changes wall-clock only — never op lists.
         A stub the previous run never drove is already reset — skip it.
         """
-        if (
-            self.seen_epoch == 0
-            and not self.table._entries
-            and not any(self.stats.values())
-        ):
+        if self.pool_pristine():
             return
         self.table = TrackingTable()
         self.seen_epoch = 0
@@ -486,9 +498,14 @@ class ServerStubRuntime:
         self.storage_name = storage
         self.stats = {"einval_recoveries": 0, "replays": 0}
 
+    def pool_pristine(self) -> bool:
+        """See :meth:`ClientStubRuntime.pool_pristine` — the server
+        stub's only mutable state is its recovery counters."""
+        return not any(self.stats.values())
+
     def pool_restore(self) -> None:
-        stats = self.stats
-        if stats["einval_recoveries"] or stats["replays"]:
+        if not self.pool_pristine():
+            stats = self.stats
             for key in stats:
                 stats[key] = 0
 

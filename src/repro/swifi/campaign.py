@@ -32,6 +32,7 @@ from repro.composite.supertrace import (
     RecordingSession,
     ReplaySession,
     super_trace_enabled,
+    tail_replay_enabled,
 )
 from repro.errors import BlockThread, ReproError, SimulatedFault, SystemHang
 from repro.observe import tracing_enabled
@@ -46,6 +47,46 @@ DEFAULT_ITERATIONS = 4
 
 #: Step budget per run; exceeding it means the system livelocked.
 MAX_STEPS = 60_000
+
+#: Kernel counters that make up a campaign's supertrace coverage report
+#: (exported to the ``.timing.json`` sidecar — engine statistics are
+#: knob-dependent, so they must stay out of the main artifact).
+COVERAGE_KEYS = (
+    "super_trace_runs",
+    "super_trace_bypasses",
+    "super_trace_tail_runs",
+    "super_trace_tail_records",
+    "super_trace_divergences",
+    "super_trace_divergent_units",
+)
+
+
+def collect_coverage(kernel, into: Optional[Dict[str, int]] = None):
+    """Fold one finished run's supertrace counters into ``into``."""
+    if into is None:
+        into = dict.fromkeys(COVERAGE_KEYS, 0)
+    stats = kernel.stats
+    for key in COVERAGE_KEYS:
+        into[key] += stats[key]
+    return into
+
+
+def coverage_ratio(coverage: Dict[str, int]) -> float:
+    """Fraction of executed invocation units served by replay.
+
+    Replayed prefix units plus replayed tail units, over every unit that
+    crossed the session — replayed, recorded-bypass, and plain
+    post-divergence authoritative units alike.
+    """
+    replayed = (
+        coverage["super_trace_runs"] + coverage["super_trace_tail_runs"]
+    )
+    total = (
+        replayed
+        + coverage["super_trace_bypasses"]
+        + coverage["super_trace_divergent_units"]
+    )
+    return replayed / total if total else 0.0
 
 
 @dataclass(frozen=True)
@@ -138,7 +179,10 @@ def execute_run_traced(spec: RunSpec, run_seed: int):
             "invocations", "upcalls", "faults_vectored", "micro_reboots",
             "steps", "interp_fast_runs", "interp_slow_runs",
             "trace_cache_hits", "trace_cache_misses",
-            "super_trace_runs", "super_trace_bypasses", "budget_exhausted",
+            "super_trace_runs", "super_trace_bypasses",
+            "super_trace_divergences", "super_trace_divergent_units",
+            "super_trace_tail_runs", "super_trace_tail_records",
+            "budget_exhausted",
         ):
             metrics.counter(stat).inc(system.kernel.stats[stat])
         metrics.counter("runs").inc()
@@ -160,20 +204,22 @@ def execute_run_traced(spec: RunSpec, run_seed: int):
     return outcome, record
 
 
-def _campaign_system(ft_mode: str, recovery_mode: str):
+def _campaign_system(ft_mode: str, recovery_mode: str, instance=None):
     """A system for one campaign run: pooled by default, fresh otherwise.
 
     Pooling reuses a per-process sealed system, dirty-restoring it to
     its post-boot state between runs — outcomes are bit-identical
     because a restored system is structurally indistinguishable from a
     fresh build (``REPRO_POOL_DEBUG=1`` verifies that per restore).
-    Traced runs always build fresh: warm trace caches shift cache-hit
-    counters that the flight recorder folds into per-run metrics, and
-    trace artifacts must stay byte-identical serial vs parallel.
+    ``instance`` selects a private pool snapshot (e.g. one cluster
+    node's) instead of the process-shared one.  Traced runs always build
+    fresh: warm trace caches shift cache-hit counters that the flight
+    recorder folds into per-run metrics, and trace artifacts must stay
+    byte-identical serial vs parallel.
     """
     if pooling_enabled() and not tracing_enabled():
         return GLOBAL_POOL.acquire(
-            ft_mode=ft_mode, recovery_mode=recovery_mode
+            ft_mode=ft_mode, recovery_mode=recovery_mode, instance=instance
         )
     return build_system(ft_mode=ft_mode, recovery_mode=recovery_mode)
 
@@ -192,7 +238,7 @@ def _arm_for_class(swifi: SwifiController, spec: RunSpec, point: int) -> None:
         raise ValueError(f"unknown fault class {spec.fault_class!r}")
 
 
-def _campaign_recording(spec: RunSpec):
+def _campaign_recording(spec: RunSpec, instance=None):
     """The super-trace recording for this spec, built once per process.
 
     Recordings exist only for pooled, untraced campaigns: a recording's
@@ -200,30 +246,38 @@ def _campaign_recording(spec: RunSpec):
     stubs), so fresh-per-run and flight-recorder runs always execute on
     the authoritative two-tier path — which is also what makes
     ``REPRO_SUPER_TRACE=0/1 × REPRO_SYSTEM_POOL=0/1`` artifacts
-    byte-identical by construction.  A failed build is cached as None so
-    the campaign never retries it.
+    byte-identical by construction.  ``instance`` keys the recording to
+    a private pool snapshot (a cluster node's), whose unit references
+    bind *that* snapshot's images and stubs — the shared-pool recording
+    would silently guard-fail against them every run.  A failed build is
+    cached as None so the campaign never retries it.
     """
     if not (
         super_trace_enabled() and pooling_enabled() and not tracing_enabled()
     ):
         return None
-    key = (spec.service, spec.ft_mode, spec.iterations, spec.recovery_mode)
+    key = (
+        spec.service, spec.ft_mode, spec.iterations, spec.recovery_mode,
+        instance,
+    )
     system = GLOBAL_POOL.peek(
-        ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode
+        ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode,
+        instance=instance,
     )
     if system is not None:
         found, recording = REGISTRY.lookup(key, system)
         if found:
             return recording
-    recording = _build_recording(spec)
+    recording = _build_recording(spec, instance=instance)
     system = GLOBAL_POOL.peek(
-        ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode
+        ft_mode=spec.ft_mode, recovery_mode=spec.recovery_mode,
+        instance=instance,
     )
     REGISTRY.store(key, system, recording)
     return recording
 
 
-def _build_recording(spec: RunSpec):
+def _build_recording(spec: RunSpec, instance=None):
     """Record the spec's clean (fault-free) invocation sequence.
 
     Two warm-up passes bring the pooled system's trace caches and
@@ -237,7 +291,9 @@ def _build_recording(spec: RunSpec):
     session = None
     try:
         for warm in range(3):
-            system = _campaign_system(spec.ft_mode, spec.recovery_mode)
+            system = _campaign_system(
+                spec.ft_mode, spec.recovery_mode, instance=instance
+            )
             kernel = system.kernel
             swifi = SwifiController(kernel, seed=0)  # never armed
             handle = workload.install(system, iterations=spec.iterations)
@@ -264,19 +320,25 @@ def _build_recording(spec: RunSpec):
     )
 
 
-def _drive_run(spec: RunSpec, run_seed: int, system=None):
+def _drive_run(spec: RunSpec, run_seed: int, system=None, instance=None):
     """Boot (or pool-restore) a system, inject per the spec, run it.
 
-    ``system`` lets a caller that manages its own systems — the cluster
-    layer's simulated nodes, each holding a private instance-keyed pool
-    snapshot — drive a run through the exact campaign path.  Such runs
-    always execute on the authoritative two-tier engine: super-trace
-    recordings bind direct references into *this process's shared*
-    pooled system, which a caller-supplied one is not.
+    ``instance`` routes the run through a private instance-keyed pool
+    snapshot (a cluster node's) with its own instance-keyed super-trace
+    recording, so node runs replay exactly like shared-pool campaign
+    runs.  ``system`` lets a caller hand in a system it manages itself
+    (e.g. a fresh per-run build); such runs always execute on the
+    authoritative two-tier engine, since recordings bind direct
+    references into a pooled system the caller's is not.
     """
     if system is None:
-        recording = _campaign_recording(spec)
-        system = _campaign_system(spec.ft_mode, spec.recovery_mode)
+        # Build the recording *before* the final acquire: the warm-up
+        # passes dirty the pooled snapshot, and this run must start from
+        # a clean restore of it.
+        recording = _campaign_recording(spec, instance=instance)
+        system = _campaign_system(
+            spec.ft_mode, spec.recovery_mode, instance=instance
+        )
     else:
         recording = None
     kernel = system.kernel
@@ -284,8 +346,10 @@ def _drive_run(spec: RunSpec, run_seed: int, system=None):
     workload = workload_for(spec.service)
     handle = workload.install(system, iterations=spec.iterations)
     _arm_for_class(swifi, spec, injection_point(run_seed, spec.horizon))
+    session = None
     if recording is not None and recording.kernel is kernel:
-        kernel._supertrace = ReplaySession(recording)
+        session = ReplaySession(recording, tails=tail_replay_enabled())
+        kernel._supertrace = session
     crash: Optional[BaseException] = None
     steps = 0
     try:
@@ -305,6 +369,10 @@ def _drive_run(spec: RunSpec, run_seed: int, system=None):
         crash = error
     finally:
         kernel._supertrace = None
+        if session is not None:
+            # Seal (or dead-cache) a tail recorded during this run so
+            # the next run diverging with the same signature replays it.
+            session.finalize(kernel)
     if kernel.crashed is not None and crash is None:
         crash = kernel.crashed
     outcome = classify_run(spec.ft_mode, system, swifi, handle, crash, steps)
@@ -355,6 +423,11 @@ class CampaignResult:
     #: modes; timings go to the ``.timing.json`` sidecar instead.
     setup_wall: float = 0.0
     exec_wall: float = 0.0
+    #: Summed supertrace engine counters (:data:`COVERAGE_KEYS`).  Also
+    #: sidecar-only: the counters depend on the engine knobs
+    #: (``REPRO_SUPER_TRACE``/``REPRO_TAIL_REPLAY``/pooling), which the
+    #: main artifact must be invariant to.
+    coverage: Optional[Dict[str, int]] = None
 
     @property
     def injected(self) -> int:
@@ -475,6 +548,7 @@ class CampaignRunner:
         setup_start = time.perf_counter()
         spec = self.spec()
         seeds = self.run_seeds()
+        coverage = dict.fromkeys(COVERAGE_KEYS, 0)
         exec_start = time.perf_counter()
         counter = run_campaign(
             spec,
@@ -483,6 +557,7 @@ class CampaignRunner:
             journal=journal,
             progress=progress,
             trace=trace,
+            coverage=coverage,
         )
         exec_end = time.perf_counter()
         return CampaignResult(
@@ -493,6 +568,7 @@ class CampaignRunner:
             fault_class=self.fault_class,
             setup_wall=exec_start - setup_start,
             exec_wall=exec_end - exec_start,
+            coverage=coverage,
         )
 
 
@@ -561,15 +637,20 @@ def write_table2_json(results: List[CampaignResult], path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump([result.row() for result in results], handle, indent=2)
         handle.write("\n")
-    timing = [
-        {
+    timing = []
+    for result in results:
+        entry = {
             "component": result.service,
             "injected": result.injected,
             "setup_wall": result.setup_wall,
             "exec_wall": result.exec_wall,
         }
-        for result in results
-    ]
+        if result.coverage is not None:
+            entry["coverage"] = dict(result.coverage)
+            entry["replayed_unit_coverage"] = round(
+                coverage_ratio(result.coverage), 6
+            )
+        timing.append(entry)
     with open(path + ".timing.json", "w", encoding="utf-8") as handle:
         json.dump(timing, handle, indent=2)
         handle.write("\n")

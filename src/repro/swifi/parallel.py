@@ -29,9 +29,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.observe import export as trace_export
 from repro.observe.metrics import canonical_metrics, merge_metrics
 from repro.swifi.campaign import (
+    COVERAGE_KEYS,
     RunSpec,
     _campaign_recording,
-    execute_run,
+    _drive_run,
+    collect_coverage,
     execute_run_traced,
 )
 from repro.swifi.classify import Outcome, OutcomeCounter
@@ -160,26 +162,34 @@ def fan_out_chunks(
             on_batch(future.result())
 
 
-def _execute_chunk(seeds: List[int]) -> List[Tuple[int, str, Optional[dict]]]:
+def _execute_chunk(seeds: List[int]):
     """Worker entry point: execute one chunk of runs.
 
     Reads the campaign parameters from the initializer-set module
     globals — the submitted payload is just the seed list.  Returns
-    ``(run_seed, outcome.value, run_record_or_None)`` triples — plain
-    strings/dicts, not enum members, so results serialise cheaply
-    across the process boundary and into the journal.  With the trace
-    flag set, each run executes under the flight recorder and ships its
-    event journal + per-run metrics back to the parent, which merges
-    and exports them deterministically.
+    ``(triples, coverage)`` where the triples are ``(run_seed,
+    outcome.value, run_record_or_None)`` — plain strings/dicts, not
+    enum members, so results serialise cheaply across the process
+    boundary and into the journal — and ``coverage`` sums the chunk's
+    supertrace engine counters (zeros when the engine is off or the
+    run is traced).  With the trace flag set, each run executes under
+    the flight recorder and ships its event journal + per-run metrics
+    back to the parent, which merges and exports them
+    deterministically.
     """
     spec, trace = _WORKER_SPEC, _WORKER_TRACE
-    if not trace:
-        return [(seed, execute_run(spec, seed).value, None) for seed in seeds]
+    coverage = dict.fromkeys(COVERAGE_KEYS, 0)
     results: List[Tuple[int, str, Optional[dict]]] = []
+    if not trace:
+        for seed in seeds:
+            outcome, system, __, __, __ = _drive_run(spec, seed)
+            collect_coverage(system.kernel, coverage)
+            results.append((seed, outcome.value, None))
+        return results, coverage
     for seed in seeds:
         outcome, record = execute_run_traced(spec, seed)
         results.append((seed, outcome.value, record))
-    return results
+    return results, coverage
 
 
 class CampaignJournal:
@@ -240,8 +250,16 @@ def run_campaign(
     journal: Optional[str] = None,
     progress=None,
     trace: Optional[str] = None,
+    coverage: Optional[Dict[str, int]] = None,
 ) -> OutcomeCounter:
     """Execute a campaign's runs and aggregate their outcomes.
+
+    ``coverage``, if given, is filled in place with the campaign's
+    summed supertrace engine counters (see
+    :data:`~repro.swifi.campaign.COVERAGE_KEYS`) — engine statistics
+    are knob-dependent, so they ride the timing sidecar, never the
+    main artifact.  Journal-replayed runs were not re-executed and
+    contribute nothing.
 
     ``workers=None`` uses one worker per CPU (:func:`default_workers`);
     ``workers=1`` (or a single pending run) stays in-process with no
@@ -270,11 +288,15 @@ def run_campaign(
     records: Dict[int, dict] = {}
     tracing = trace is not None
 
-    def note(batch: List[Tuple[int, str, Optional[dict]]]) -> None:
+    def note(batch) -> None:
         nonlocal completed
+        triples, chunk_coverage = batch
+        if coverage is not None:
+            for key, value in chunk_coverage.items():
+                coverage[key] = coverage.get(key, 0) + value
         if book is not None:
-            book.append(spec, [(seed, value) for seed, value, __ in batch])
-        for run_seed, value, record in batch:
+            book.append(spec, [(seed, value) for seed, value, __ in triples])
+        for run_seed, value, record in triples:
             outcomes[run_seed] = Outcome(value)
             if record is not None:
                 records[run_seed] = record

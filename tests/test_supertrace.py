@@ -124,10 +124,14 @@ class TestReplayAccounting:
             execute_run(spec, seed)
             kernel = kernel or _pooled_kernel(spec)
         stats = _pooled_kernel(spec).stats
-        # Replayed units prove the tier-3 engine ran; bypassed units
-        # prove injections and taint never took the replay shortcut.
+        # Replayed units prove the tier-3 engine ran; divergences and
+        # divergent units prove injections never took the replay
+        # shortcut — each injected run leaves the prefix exactly once
+        # and executes its post-divergence units authoritatively (or
+        # through the separately counted tail cache).
         assert stats["super_trace_runs"] > 0
-        assert stats["super_trace_bypasses"] > 0
+        assert stats["super_trace_divergences"] > 0
+        assert stats["super_trace_divergent_units"] > 0
 
     def test_two_tier_mode_never_counts_super_trace(self, monkeypatch):
         monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
@@ -155,7 +159,8 @@ class TestReplayAccounting:
         monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
         monkeypatch.setenv("REPRO_SUPER_TRACE", "1")
         monkeypatch.setattr(
-            swifi_campaign, "_build_recording", lambda spec: None
+            swifi_campaign, "_build_recording",
+            lambda spec, instance=None: None,
         )
         REGISTRY.clear()
         runner = _lock_runner(n_faults=6, seed=9)
@@ -165,6 +170,84 @@ class TestReplayAccounting:
         monkeypatch.setenv("REPRO_SUPER_TRACE", "1")
         assert _sweep(spec, runner.run_seeds()) == baseline
         assert swifi_campaign._campaign_recording(spec) is None
+
+
+class TestTailReplay:
+    """The divergence-tail cache: byte-identical gated off, engaged and
+    shared when on, and never counted when disabled."""
+
+    def _coverage_sweep(self, spec, seeds):
+        coverage = dict.fromkeys(swifi_campaign.COVERAGE_KEYS, 0)
+        outcomes = []
+        for seed in seeds:
+            outcome, system, __, __, __ = swifi_campaign._drive_run(
+                spec, seed
+            )
+            outcomes.append(outcome.value)
+            swifi_campaign.collect_coverage(system.kernel, coverage)
+        return outcomes, coverage
+
+    @pytest.mark.parametrize("fault_class", ["reg", "mem", "idl", "burst"])
+    def test_outcomes_identical_with_tails(self, monkeypatch, fault_class):
+        # The acceptance bar: REPRO_TAIL_REPLAY=0 and =1 are
+        # outcome-for-outcome identical per fault class — cold cache
+        # (recording tails) and warm cache (replaying them) both.
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
+        monkeypatch.setenv("REPRO_SUPER_TRACE", "1")
+        runner = CampaignRunner(
+            "lock", n_faults=15, seed=2, fault_class=fault_class
+        )
+        spec = runner.spec()
+        seeds = runner.run_seeds()
+        monkeypatch.setenv("REPRO_TAIL_REPLAY", "0")
+        baseline = _sweep(spec, seeds)
+        monkeypatch.setenv("REPRO_TAIL_REPLAY", "1")
+        assert _sweep(spec, seeds) == baseline  # cold: records tails
+        assert _sweep(spec, seeds) == baseline  # warm: replays them
+
+    def test_tail_cache_records_then_replays(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
+        monkeypatch.setenv("REPRO_SUPER_TRACE", "1")
+        monkeypatch.setenv("REPRO_TAIL_REPLAY", "1")
+        REGISTRY.clear()  # earlier tests share this spec's tail cache
+        runner = _lock_runner(n_faults=20, seed=3)
+        spec = runner.spec()
+        seeds = runner.run_seeds()
+        first, cold = self._coverage_sweep(spec, seeds)
+        second, warm = self._coverage_sweep(spec, seeds)
+        assert second == first
+        assert cold["super_trace_tail_records"] > 0
+        # Same seeds, same divergence signatures: the second pass finds
+        # every tail already recorded and replays instead of recording.
+        assert warm["super_trace_tail_records"] == 0
+        assert warm["super_trace_tail_runs"] >= cold["super_trace_tail_runs"]
+        assert warm["super_trace_tail_runs"] > 0
+        assert swifi_campaign.coverage_ratio(warm) > (
+            swifi_campaign.coverage_ratio(dict(warm, super_trace_tail_runs=0))
+        )
+
+    def test_gate_off_means_no_tail_accounting(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
+        monkeypatch.setenv("REPRO_SUPER_TRACE", "1")
+        monkeypatch.setenv("REPRO_TAIL_REPLAY", "0")
+        runner = _lock_runner(n_faults=10, seed=6)
+        spec = runner.spec()
+        __, coverage = self._coverage_sweep(spec, runner.run_seeds())
+        assert coverage["super_trace_tail_runs"] == 0
+        assert coverage["super_trace_tail_records"] == 0
+
+    def test_tail_replay_under_pool_debug(self, monkeypatch):
+        # Every restore after a tail-replayed run must still produce a
+        # system structurally identical to a fresh build — tail replay
+        # applies recorded effects, never invents state.
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "1")
+        monkeypatch.setenv("REPRO_SUPER_TRACE", "1")
+        monkeypatch.setenv("REPRO_TAIL_REPLAY", "1")
+        monkeypatch.setenv("REPRO_POOL_DEBUG", "1")
+        runner = _lock_runner(n_faults=8, seed=11)
+        spec = runner.spec()
+        for seed in runner.run_seeds() * 2:  # cold then warm
+            execute_run(spec, seed)  # raises ReproError on divergence
 
 
 class TestRecordingEvent:
