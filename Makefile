@@ -4,7 +4,7 @@ PY ?= python3
 # Worker-pool size for the SWIFI campaign (0 = all CPUs).
 WORKERS ?= 0
 
-.PHONY: install test lint bench perf throughput profile campaign fault-classes fig7 fig7-campaign cluster examples clean
+.PHONY: install test lint bench perf throughput profile campaign fault-classes fig7 fig7-campaign fig7-openloop cluster examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PY) setup.py develop
@@ -28,6 +28,8 @@ perf:
 	$(PY) scripts/check_campaign_baseline.py /tmp/campaign_throughput.json
 	$(PY) benchmarks/bench_fig7_webserver.py --json /tmp/fig7_webserver.json
 	$(PY) scripts/check_fig7_baseline.py /tmp/fig7_webserver.json
+	$(PY) benchmarks/bench_fig7_webserver.py --openloop --json /tmp/fig7_openloop.json
+	$(PY) scripts/check_fig7_openloop.py /tmp/fig7_openloop.json
 
 # The campaign-throughput trajectory in one command: fresh -> two-tier
 # pooled -> prefix super-traces -> tail replay (the four sweeps of
@@ -90,6 +92,13 @@ fig7:
 SEEDS ?= 16
 fig7-campaign:
 	$(PY) -m repro fig7 --seeds $(SEEDS) --workers $(WORKERS)
+
+# Deterministic open-loop offered-load sweep (goodput / p99 / p999 with
+# faults at every load point), checked exactly against the committed
+# baseline — the local equivalent of the `fig7-openloop` CI job.
+fig7-openloop:
+	$(PY) benchmarks/bench_fig7_webserver.py --openloop --json /tmp/fig7_openloop.json
+	$(PY) scripts/check_fig7_openloop.py /tmp/fig7_openloop.json
 
 examples:
 	$(PY) examples/quickstart.py

@@ -17,6 +17,16 @@ uses deliberately short runs (a few dozen requests): per-run fixed costs
 — system boot, trace-cache and fast-path warmup — are what pooling
 amortizes, and long request streams would bury them in steady-state
 serving time that pooling cannot (and should not) change.
+
+Open-loop mode (``--openloop --json out.json``) sweeps offered load
+against goodput and tail latency: the same heavy-tailed burst arrival
+schedule replayed at multipliers of the service's estimated capacity,
+with SWIFI faults injected mid-stream at every point.  Unlike the
+wall-clock gates above, every number here is a virtual-time outcome —
+a pure function of (spec, seed) — so ``scripts/check_fig7_openloop.py``
+compares the committed baseline in
+``benchmarks/baselines/fig7_openloop.json`` exactly (integers) or to a
+last-ulp epsilon (floats).
 """
 
 from __future__ import annotations
@@ -32,10 +42,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import pytest  # noqa: E402
 
+from repro.composite.scheduler import CYCLES_PER_US  # noqa: E402
 from repro.system import GLOBAL_POOL, compile_all_interfaces  # noqa: E402
 from repro.webserver.apache_model import ApacheModel  # noqa: E402
+from repro.webserver.arrivals import offered_rps  # noqa: E402
 from repro.webserver.campaign import (  # noqa: E402
     WebRunSpec,
+    aggregate_rows,
     execute_web_run,
     prepare_webserver,
     web_run_seeds,
@@ -184,6 +197,92 @@ def measure_web_campaign(n_seeds: int, repeat: int = 3) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Open-loop offered-load sweep (goodput / tail latency under faults)
+# ---------------------------------------------------------------------------
+
+#: Load multipliers swept by ``--openloop``: comfortable underload, the
+#: calibrated knee, and two overload points where the queue grows without
+#: bound for the duration of the stream.
+OPENLOOP_LOADS = (0.5, 1.0, 1.5, 2.0)
+
+
+def measure_openloop_sweep(n_seeds: int = 4, n_requests: int = 120) -> dict:
+    """Offered load vs goodput / p99 / p999 with faults at every point.
+
+    The same heavy-tailed burst schedule replayed at each multiplier of
+    the estimated service capacity, ``n_seeds`` SWIFI seeds per point
+    (two register faults each, armed mid-stream).  Rows execute serially
+    in-process; aggregates are order-independent merges, so the artifact
+    is the same one a parallel campaign would emit.  No wall clock
+    anywhere: every value is deterministic given the spec.
+    """
+    seeds = web_run_seeds(1, n_seeds)
+    points = []
+    for load in OPENLOOP_LOADS:
+        spec = WebRunSpec(
+            n_requests=n_requests, n_faults=2, arrivals="open",
+            load=load, phases="burst", slo_us=500,
+        )
+        schedule = spec.arrival_spec().build(("index.html",))
+        rows = [execute_web_run(spec, seed) for seed in seeds]
+        agg = aggregate_rows(spec, rows)
+        points.append({
+            "load": load,
+            "fingerprint": spec.fingerprint(),
+            "offered_rps": offered_rps(schedule, CYCLES_PER_US),
+            "requests": agg["requests"],
+            "served": agg["served"],
+            "errors": agg["errors"],
+            "outcomes": agg["outcomes"],
+            "reboots": agg["reboots"],
+            "faults_armed": agg["faults_armed"],
+            "faults_delivered": agg["faults_delivered"],
+            "slo_ok": agg["slo_ok"],
+            "slo_miss": agg["slo_miss"],
+            "peak_outstanding": agg["peak_outstanding"],
+            "throughput_rps": agg["throughput_rps"],
+            "goodput_rps": agg["goodput_rps"],
+            "latency_p50_cycles": agg["latency_p50_cycles"],
+            "latency_p95_cycles": agg["latency_p95_cycles"],
+            "latency_p99_cycles": agg["latency_p99_cycles"],
+            "latency_p999_cycles": agg["latency_p999_cycles"],
+        })
+    return {
+        "params": {
+            "n_seeds": n_seeds,
+            "n_requests": n_requests,
+            "n_faults": 2,
+            "phases": "burst",
+            "slo_us": 500,
+            "loads": list(OPENLOOP_LOADS),
+        },
+        "points": points,
+    }
+
+
+def _print_openloop(results: dict) -> None:
+    params = results["params"]
+    print(
+        f"open-loop sweep: {params['n_seeds']} seeds x "
+        f"{params['n_requests']} requests, {params['phases']} phases, "
+        f"SLO {params['slo_us']}us"
+    )
+    header = (
+        f"{'load':>5} {'offered':>12} {'goodput':>12} {'slo ok':>9} "
+        f"{'peak q':>7} {'p99':>10} {'p999':>10}"
+    )
+    print(header)
+    for p in results["points"]:
+        print(
+            f"{p['load']:>5g} {p['offered_rps']:>12,.0f} "
+            f"{p['goodput_rps']:>12,.0f} "
+            f"{p['slo_ok']:>4}/{p['requests']} "
+            f"{p['peak_outstanding']:>7} "
+            f"{p['latency_p99_cycles']:>10,} {p['latency_p999_cycles']:>10,}"
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=30,
@@ -192,18 +291,28 @@ def main(argv=None) -> int:
                         help="timing repetitions (best-of)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced sizes for CI smoke runs")
+    parser.add_argument("--openloop", action="store_true",
+                        help="run the deterministic open-loop offered-load "
+                             "sweep instead of the wall-clock campaign "
+                             "benchmark")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write results as JSON")
     args = parser.parse_args(argv)
-    if args.quick:
-        args.seeds, args.repeat = 15, 2
 
-    results = measure_web_campaign(args.seeds, repeat=args.repeat)
-    print(f"campaign runs/sweep    : {results['campaign_runs']}")
-    print(f"requests served/sweep  : {results['requests_served']}")
-    print(f"fresh-build runs/sec   : {results['fresh_runs_per_sec']:,.1f}")
-    print(f"pooled runs/sec        : {results['pooled_runs_per_sec']:,.1f}")
-    print(f"pooled/fresh speedup   : {results['pooled_over_fresh']:.2f}x")
+    if args.openloop:
+        # Fixed sizes: the committed baseline is an exact artifact, so
+        # --quick/--seeds must not silently change what gets compared.
+        results = measure_openloop_sweep()
+        _print_openloop(results)
+    else:
+        if args.quick:
+            args.seeds, args.repeat = 15, 2
+        results = measure_web_campaign(args.seeds, repeat=args.repeat)
+        print(f"campaign runs/sweep    : {results['campaign_runs']}")
+        print(f"requests served/sweep  : {results['requests_served']}")
+        print(f"fresh-build runs/sec   : {results['fresh_runs_per_sec']:,.1f}")
+        print(f"pooled runs/sec        : {results['pooled_runs_per_sec']:,.1f}")
+        print(f"pooled/fresh speedup   : {results['pooled_over_fresh']:.2f}x")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(results, handle, indent=2)

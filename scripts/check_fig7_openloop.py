@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Check an open-loop Fig. 7 sweep against its committed baseline.
+
+Usage:  python scripts/check_fig7_openloop.py ARTIFACT [BASELINE]
+
+ARTIFACT is the output of ``python benchmarks/bench_fig7_webserver.py
+--openloop --json PATH``; BASELINE defaults to
+``benchmarks/baselines/fig7_openloop.json``.
+
+This gate is unlike the wall-clock ones (``check_fig7_baseline.py`` and
+friends): the open-loop sweep has no timing in it.  Every recorded value
+is a virtual-time outcome — served counts, SLO hits, queue peaks,
+histogram quantiles — and therefore a pure function of the spec and the
+seed schedule.  Integers must match *exactly*; floats are allowed a
+last-ulp relative epsilon because ``math.log``/``math.pow`` results can
+differ across libm implementations in the final bit.  Any larger drift
+means behaviour changed: the open-loop request path, the SWIFI
+schedule, or the histogram math.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks" / "baselines" / "fig7_openloop.json"
+)
+
+#: Generous against last-ulp libm drift, tiny against real change: the
+#: smallest behavioural difference (one request crossing the SLO) moves
+#: goodput by ~0.2%.
+REL_EPS = 1e-9
+
+
+def _compare(path: str, got, want, failures: list) -> None:
+    if isinstance(want, dict):
+        if not isinstance(got, dict):
+            failures.append(f"{path}: expected object, got {type(got).__name__}")
+            return
+        for key, sub in want.items():
+            if key not in got:
+                failures.append(f"{path}.{key}: missing from artifact")
+            else:
+                _compare(f"{path}.{key}", got[key], sub, failures)
+        for key in got:
+            if key not in want:
+                failures.append(f"{path}.{key}: not in baseline")
+    elif isinstance(want, list):
+        if not isinstance(got, list) or len(got) != len(want):
+            failures.append(f"{path}: length/shape mismatch")
+            return
+        for i, (g, w) in enumerate(zip(got, want)):
+            _compare(f"{path}[{i}]", g, w, failures)
+    elif isinstance(want, bool) or want is None or isinstance(want, str):
+        if got != want:
+            failures.append(f"{path}: {got!r} != {want!r}")
+    elif isinstance(want, int):
+        # Virtual-time integers admit no tolerance at all.
+        if not isinstance(got, int) or got != want:
+            failures.append(f"{path}: {got!r} != {want!r} (exact int)")
+    elif isinstance(want, float):
+        if not isinstance(got, (int, float)) or not math.isclose(
+            got, want, rel_tol=REL_EPS, abs_tol=REL_EPS
+        ):
+            failures.append(f"{path}: {got!r} != {want!r} (float epsilon)")
+    else:
+        failures.append(f"{path}: unhandled baseline type {type(want).__name__}")
+
+
+def check(artifact_path: str, baseline_path: str) -> int:
+    with open(artifact_path, "r", encoding="utf-8") as handle:
+        results = json.load(handle)
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    failures: list = []
+    _compare("params", results.get("params"), baseline["params"], failures)
+    _compare("points", results.get("points"), baseline["points"], failures)
+
+    for point in baseline["points"]:
+        print(
+            f"load {point['load']:>4g}  goodput {point['goodput_rps']:>12,.0f}"
+            f"  slo {point['slo_ok']}/{point['requests']}"
+            f"  p999 {point['latency_p999_cycles']:>10,}"
+        )
+
+    if failures:
+        print("\nFIG7 OPEN-LOOP CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nfig7 open-loop check passed (exact)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact",
+                        help="bench_fig7_webserver.py --openloop --json output")
+    parser.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
+    args = parser.parse_args(argv)
+    return check(args.artifact, args.baseline)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

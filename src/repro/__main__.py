@@ -173,6 +173,8 @@ def _cmd_fig6(args) -> int:
 def _cmd_fig7(args) -> int:
     if args.seeds is not None:
         return _cmd_fig7_campaign(args)
+    if args.arrivals == "open":
+        return _cmd_fig7_openloop(args)
     from repro.webserver.apache_model import ApacheModel
     from repro.webserver.loadgen import run_webserver
 
@@ -206,6 +208,54 @@ def _cmd_fig7(args) -> int:
     return 0
 
 
+def _cmd_fig7_openloop(args) -> int:
+    """Single-spec open-loop comparison: clean vs faulted overload."""
+    from repro.webserver.arrivals import ArrivalSpec, offered_rps
+    from repro.webserver.loadgen import run_webserver
+    from repro.composite.scheduler import CYCLES_PER_US
+
+    spec = ArrivalSpec(
+        n_requests=args.requests,
+        load=args.load,
+        phases=args.phases,
+        seed=args.arrival_seed,
+    )
+    schedule = spec.build(("index.html",))
+    print(
+        f"Open-loop web-server run: {args.requests} requests, "
+        f"load {args.load:g} ({args.phases} phases), "
+        f"SLO {args.slo_us}us, offered "
+        f"{offered_rps(schedule, CYCLES_PER_US):,.0f} req/s"
+    )
+
+    def report(label, result):
+        line = (
+            f"  {label:<18} goodput {result.goodput_rps:>10,.0f} req/s"
+            f"  slo {result.slo_ok}/{result.requests}"
+            f"  peak queue {result.peak_outstanding}"
+        )
+        if result.crashed is not None:
+            line += f"  [crashed: {result.crashed}]"
+        if result.faults_armed:
+            line += (
+                f"  ({result.faults_injected}/{result.faults_armed} faults, "
+                f"{result.reboots} reboots)"
+            )
+        print(line)
+
+    clean = run_webserver(
+        ft_mode=args.mode, arrival_spec=spec, slo_us=args.slo_us
+    )
+    report("fault-free", clean)
+    faulted = run_webserver(
+        ft_mode=args.mode, arrival_spec=spec, slo_us=args.slo_us,
+        with_faults=True, n_faults=args.faults, seed=args.seed,
+        fault_class=args.fault_class, warn_shortfall=False,
+    )
+    report(f"{args.fault_class} faults", faulted)
+    return 0
+
+
 def _cmd_fig7_campaign(args) -> int:
     """Multi-seed faulted campaign mode (``fig7 --seeds N``)."""
     from repro.webserver.campaign import (
@@ -231,17 +281,33 @@ def _cmd_fig7_campaign(args) -> int:
         except OSError as exc:
             print(f"cannot write --trace {args.trace}: {exc}", file=sys.stderr)
             return 1
-    spec = WebRunSpec(
-        ft_mode=args.mode,
-        n_requests=args.requests,
-        concurrency=args.concurrency,
-        n_faults=args.faults,
-    )
+    try:
+        spec = WebRunSpec(
+            ft_mode=args.mode,
+            n_requests=args.requests,
+            concurrency=args.concurrency,
+            n_faults=args.faults,
+            fault_class=args.fault_class,
+            arrivals=args.arrivals,
+            load=args.load,
+            phases=args.phases,
+            slo_us=args.slo_us,
+            arrival_seed=args.arrival_seed,
+        )
+    except ValueError as exc:
+        print(f"invalid fig7 spec: {exc}", file=sys.stderr)
+        return 1
     # 0 = one worker per CPU, matching the campaign Make targets.
     workers = args.workers or (os.cpu_count() or 1)
+    shape = (
+        f"open-loop load {args.load:g} ({args.phases})"
+        if args.arrivals == "open"
+        else f"concurrency {args.concurrency}"
+    )
     print(
         f"Fig. 7 campaign: {args.seeds} seeded runs x {args.requests} "
-        f"requests ({args.mode} stubs, {workers} worker(s))"
+        f"requests, {shape} ({args.mode} stubs, {args.fault_class} "
+        f"faults, {workers} worker(s))"
     )
     result = run_webserver_campaign(
         web_run_seeds(args.seed, args.seeds),
@@ -468,6 +534,40 @@ def main(argv=None) -> int:
     p.add_argument(
         "--faults", type=int, default=3,
         help="campaign mode: SWIFI faults armed per run (default 3)",
+    )
+    p.add_argument(
+        "--fault-class",
+        choices=("reg", "mem", "idl", "burst"),
+        default="reg",
+        help="SWIFI fault model for faulted runs (default: register SEUs)",
+    )
+    p.add_argument(
+        "--arrivals",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed = ab-style bounded concurrency; open = requests "
+        "arrive on a virtual-time Poisson schedule regardless of "
+        "backlog (heavy-tailed sizes, SLO-scored)",
+    )
+    p.add_argument(
+        "--load", type=float, default=1.0,
+        help="open arrivals: offered-load multiplier; 1.0 offers about "
+        "one virtual CPU of service demand (default 1.0)",
+    )
+    p.add_argument(
+        "--phases", default="steady",
+        help="open arrivals: phase schedule - steady, burst, diurnal, "
+        "or name:frac@rate,... (default steady)",
+    )
+    p.add_argument(
+        "--slo-us", type=int, default=500,
+        help="open arrivals: arrival-to-response deadline in virtual "
+        "microseconds (default 500)",
+    )
+    p.add_argument(
+        "--arrival-seed", type=int, default=0,
+        help="open arrivals: seed of the arrival schedule itself "
+        "(shared by every run seed; default 0)",
     )
     p.add_argument(
         "--json",

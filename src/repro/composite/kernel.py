@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.composite.scheduler import RunQueue, VirtualClock
-from repro.composite.thread import Invoke, SimThread, ThreadState, Yield
+from repro.composite.thread import Invoke, SimThread, Sleep, ThreadState, Yield
 from repro.observe import recorder_for
 from repro.errors import (
     BlockThread,
@@ -431,6 +431,37 @@ class Kernel:
         else:
             thread.pending = ("value", value)
 
+    def _sleep(self, thread: SimThread, until: int) -> None:
+        """Handle a :class:`~repro.composite.thread.Sleep` action.
+
+        The thread parks *outside* any component (``blocked_in`` stays
+        ``None``), so fault wakeups (:meth:`wake_all_in`) and descriptor
+        recovery never touch it; the wake is a plain clock callback,
+        exactly like a timer expiry, so :meth:`VirtualClock
+        .skip_to_next_expiry` covers it and a system that is only
+        sleeping is never misdiagnosed as a hang.
+        """
+        if until <= self.clock.now:
+            thread.pending = ("value", None)
+            return
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_in = None
+        token = ("sleep", until)
+        thread.block_token = token
+        tid = thread.tid
+
+        def _sleep_wake():
+            t = self.threads.get(tid)
+            if (
+                t is not None
+                and t.state is ThreadState.BLOCKED
+                and t.blocked_in is None
+                and t.block_token == token
+            ):
+                self._unpark(t)
+
+        self.clock.schedule(until, _sleep_wake)
+
     def wake_token(self, component: str, token, value=None) -> int:
         """Wake all threads blocked in ``component`` on ``token``."""
         woken = 0
@@ -588,6 +619,8 @@ class Kernel:
             self._perform(thread, action)
         elif isinstance(action, Yield):
             thread.pending = ("value", None)
+        elif isinstance(action, Sleep):
+            self._sleep(thread, action.until)
         else:
             raise ReproError(f"thread {thread.name} yielded {action!r}")
 

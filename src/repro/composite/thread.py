@@ -49,6 +49,28 @@ class Yield:
         return "Yield()"
 
 
+class Sleep:
+    """Park the thread until a virtual-clock instant, charging no CPU.
+
+    Models waiting on the *outside world* — the open-loop load
+    generator's arrival clock is a NIC raising interrupts, not work the
+    simulated system performs.  The thread blocks directly on the
+    kernel's clock, in no component: sleeping costs zero simulated
+    cycles, is invisible to fault wakeups and descriptor recovery, and
+    (unlike the timer service) involves no invocations that would
+    distort the capacity the open-loop stream is calibrated against.
+    A ``Sleep`` whose instant is already past resumes immediately.
+    """
+
+    __slots__ = ("until",)
+
+    def __init__(self, until: int):
+        self.until = until
+
+    def __repr__(self):
+        return f"Sleep(until={self.until})"
+
+
 class ThreadState(enum.Enum):
     READY = "ready"
     BLOCKED = "blocked"

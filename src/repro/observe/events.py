@@ -22,7 +22,10 @@ from typing import Dict, FrozenSet
 
 #: Schema version stamped into exported trace artifacts.  Bump on any
 #: incompatible change to the event vocabulary or the line format.
-SCHEMA_VERSION = 1
+#: v2: histogram serializations carry a ``clamped`` count (negative
+#: observations clamped to 0) and may carry ``sub_bits`` (log-linear
+#: sub-bucketed histograms).
+SCHEMA_VERSION = 2
 
 #: event name -> required field names.  Emitters may add *no* extra
 #: fields beyond ``OPTIONAL_FIELDS``; validation is exact so schema

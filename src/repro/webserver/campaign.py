@@ -42,10 +42,11 @@ from repro.observe import export as trace_export
 from repro.observe import tracing_enabled
 from repro.observe.metrics import (
     MetricsRegistry,
+    bucket_bounds,
     canonical_metrics,
     merge_metrics,
 )
-from repro.swifi.injector import SwifiController
+from repro.swifi.injector import FAULT_CLASSES, SwifiController
 from repro.swifi.parallel import default_workers, fan_out_chunks
 from repro.system import (
     GLOBAL_POOL,
@@ -53,6 +54,7 @@ from repro.system import (
     compile_all_interfaces,
     pooling_enabled,
 )
+from repro.webserver.arrivals import ArrivalSpec
 from repro.webserver.loadgen import LoadResult, run_webserver
 from repro.webserver.server import (
     DIP_THRESHOLD_CYCLES,
@@ -61,6 +63,11 @@ from repro.webserver.server import (
 
 #: Latency quantiles reported per run and per campaign.
 QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+#: Open-loop runs additionally report the extreme tail: overload and
+#: recovery storms live in p999, which p99 alone can miss entirely at
+#: per-run sample counts.
+OPEN_QUANTILES = QUANTILES + (("p999", 0.999),)
 
 
 @dataclass(frozen=True)
@@ -74,20 +81,71 @@ class WebRunSpec:
     n_faults: int = 3
     max_steps: int = 2_000_000
     recovery_mode: str = "ondemand"
+    #: Injected fault model (``repro.swifi.injector.FAULT_CLASSES``).
+    fault_class: str = "reg"
+    #: ``"closed"`` (ab-style, bounded outstanding) or ``"open"``
+    #: (arrival-schedule driven; ``concurrency`` is then ignored).
+    arrivals: str = "closed"
+    #: Open-loop offered-load multiplier (1.0 ~ one virtual CPU).
+    load: float = 1.0
+    #: Open-loop phase schedule (preset name or ``name:frac@rate,...``).
+    phases: str = "steady"
+    #: Open-loop SLO deadline, microseconds of virtual time from
+    #: arrival to response.
+    slo_us: int = 500
+    #: Seed of the arrival schedule itself — deliberately separate from
+    #: the SWIFI run seeds, so every seeded run of a campaign shares one
+    #: arrival stream (and one super-trace recording).
+    arrival_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
             raise ValueError("WebRunSpec needs n_requests >= 1")
         if self.concurrency < 1:
             raise ValueError("WebRunSpec needs concurrency >= 1")
+        if self.fault_class not in FAULT_CLASSES:
+            raise ValueError(
+                f"unknown fault class {self.fault_class!r} "
+                f"(expected one of {FAULT_CLASSES})"
+            )
+        if self.arrivals not in ("closed", "open"):
+            raise ValueError("WebRunSpec.arrivals must be 'closed' or 'open'")
+        if self.arrivals == "open":
+            if self.slo_us < 1:
+                raise ValueError("WebRunSpec needs slo_us >= 1")
+            self.arrival_spec()  # fail fast on bad load/phases
+
+    def arrival_spec(self) -> Optional[ArrivalSpec]:
+        """The open-loop arrival schedule spec (None when closed-loop)."""
+        if self.arrivals != "open":
+            return None
+        return ArrivalSpec(
+            n_requests=self.n_requests,
+            load=self.load,
+            phases=self.phases,
+            seed=self.arrival_seed,
+        )
 
     def fingerprint(self) -> str:
-        """Stable identity string (trace artifacts key on it)."""
-        return (
+        """Stable identity string (trace artifacts key on it).
+
+        Closed-loop reg-fault specs keep their historical form; the
+        open-loop / fault-class parts append only when they differ from
+        the defaults, so existing artifacts and trace keys still match.
+        """
+        base = (
             f"webserver/{self.ft_mode}/r{self.n_requests}"
             f"/c{self.concurrency}/w{self.n_workers}/f{self.n_faults}"
             f"/{self.recovery_mode}"
         )
+        if self.fault_class != "reg":
+            base += f"/{self.fault_class}"
+        if self.arrivals == "open":
+            base += (
+                f"/open-l{self.load:g}-{self.phases}"
+                f"-slo{self.slo_us}-a{self.arrival_seed}"
+            )
+        return base
 
 
 def web_run_seeds(seed: int, n_seeds: int) -> List[int]:
@@ -133,10 +191,9 @@ def _web_recording(spec: WebRunSpec):
         super_trace_enabled() and pooling_enabled() and not tracing_enabled()
     ):
         return None
-    key = (
-        "webserver", spec.ft_mode, spec.n_requests, spec.concurrency,
-        spec.n_workers, spec.n_faults, spec.max_steps, spec.recovery_mode,
-    )
+    # The fingerprint covers every behavior-relevant field (arrival
+    # schedule included) except the step budget.
+    key = ("webserver", spec.fingerprint(), spec.max_steps)
     system = GLOBAL_POOL.peek(
         ft_mode=spec.ft_mode,
         recovery_mode=spec.recovery_mode,
@@ -208,6 +265,8 @@ def _build_web_recording(spec: WebRunSpec):
                     system=system,
                     warn_shortfall=False,
                     progress_hook=probe,
+                    arrival_spec=spec.arrival_spec(),
+                    slo_us=spec.slo_us if spec.arrivals == "open" else None,
                 )
             finally:
                 kernel._supertrace = None
@@ -223,7 +282,8 @@ def _build_web_recording(spec: WebRunSpec):
         {"service": "webserver", "ft_mode": spec.ft_mode,
          "n_requests": spec.n_requests, "concurrency": spec.concurrency,
          "n_workers": spec.n_workers, "n_faults": spec.n_faults,
-         "recovery_mode": spec.recovery_mode}
+         "recovery_mode": spec.recovery_mode, "arrivals": spec.arrivals,
+         "fingerprint": spec.fingerprint()}
     )
 
 
@@ -240,23 +300,30 @@ def _nearest_rank(sorted_values: Sequence[int], q: float) -> Optional[int]:
 
 
 def histogram_quantile(h: Dict[str, object], q: float) -> Optional[int]:
-    """Quantile of a serialized power-of-two-bucket histogram.
+    """Quantile of a serialized bucketed histogram.
 
-    Returns the inclusive upper bound of the bucket holding the
-    nearest-rank sample (clamped to the observed max), so merged
-    campaign percentiles are order-independent: every run's samples land
-    in the same buckets no matter which worker observed them.
+    Handles both shapes: power-of-two buckets (no ``sub_bits`` key) and
+    log-linear sub-bucketed ones (``sub_bits`` present, bucket bounds
+    via :func:`repro.observe.metrics.bucket_bounds`).  Returns the
+    inclusive upper bound of the bucket holding the nearest-rank sample
+    (clamped to the observed max), so merged campaign percentiles are
+    order-independent: every run's samples land in the same buckets no
+    matter which worker observed them.
     """
     count = h.get("count", 0)
     if not count:
         return None
+    sub_bits = h.get("sub_bits")
     rank = max(1, math.ceil(q * count))
     seen = 0
     for bucket in sorted(h["buckets"], key=int):
         seen += h["buckets"][bucket]
         if seen >= rank:
             b = int(bucket)
-            upper = 0 if b == 0 else (1 << b) - 1
+            if sub_bits is not None:
+                upper = bucket_bounds(b, sub_bits)[1]
+            else:
+                upper = 0 if b == 0 else (1 << b) - 1
             observed_max = h.get("max")
             return upper if observed_max is None else min(upper, observed_max)
     return h.get("max")
@@ -289,7 +356,15 @@ def _row_from_result(run_seed: int, result: LoadResult) -> Dict[str, object]:
     metrics.counter("faults_delivered").inc(result.faults_injected)
     if result.crashed is not None:
         metrics.counter("crashed_runs").inc()
-    latency_hist = metrics.histogram("request_latency_cycles")
+    if result.open_loop:
+        # Tail-latency SLOs need sub-power-of-two resolution: a p999
+        # read from a power-of-two bucket straddling the deadline
+        # cannot tell a just-met from a badly-missed SLO.
+        latency_hist = metrics.loglinear("request_latency_cycles")
+        metrics.counter("slo_ok").inc(result.slo_ok)
+        metrics.counter("slo_miss").inc(result.slo_miss)
+    else:
+        latency_hist = metrics.histogram("request_latency_cycles")
     for value in result.latencies:
         latency_hist.observe(value)
     dip_hist = metrics.histogram("dip_gap_cycles")
@@ -319,8 +394,14 @@ def _row_from_result(run_seed: int, result: LoadResult) -> Dict[str, object]:
         "dip_recovery_cycles": result.dip_recovery_cycles(),
         "metrics": canonical_metrics(metrics.to_dict()),
     }
-    for name, q in QUANTILES:
+    quantiles = OPEN_QUANTILES if result.open_loop else QUANTILES
+    for name, q in quantiles:
         row[f"latency_{name}_cycles"] = _nearest_rank(latencies, q)
+    if result.open_loop:
+        row["peak_outstanding"] = result.peak_outstanding
+        row["slo_ok"] = result.slo_ok
+        row["slo_miss"] = result.slo_miss
+        row["goodput_rps"] = result.goodput_rps
     return row
 
 
@@ -349,6 +430,9 @@ def execute_web_run(spec: WebRunSpec, run_seed: int) -> Dict[str, object]:
             # Shortfalls are first-class row data (faults_armed) in a
             # campaign, not per-run stderr noise.
             warn_shortfall=False,
+            arrival_spec=spec.arrival_spec(),
+            slo_us=spec.slo_us if spec.arrivals == "open" else None,
+            fault_class=spec.fault_class,
         )
     finally:
         kernel._supertrace = None
@@ -382,6 +466,9 @@ def execute_web_run_traced(
             max_steps=spec.max_steps,
             system=system,
             warn_shortfall=False,
+            arrival_spec=spec.arrival_spec(),
+            slo_us=spec.slo_us if spec.arrivals == "open" else None,
+            fault_class=spec.fault_class,
         )
         row = _row_from_result(run_seed, result)
         recorder = system.kernel.recorder
@@ -482,6 +569,12 @@ class WebCampaignResult:
                 "n_faults": self.spec.n_faults,
                 "max_steps": self.spec.max_steps,
                 "recovery_mode": self.spec.recovery_mode,
+                "fault_class": self.spec.fault_class,
+                "arrivals": self.spec.arrivals,
+                "load": self.spec.load,
+                "phases": self.spec.phases,
+                "slo_us": self.spec.slo_us,
+                "arrival_seed": self.spec.arrival_seed,
             },
             "seeds": list(self.seeds),
             "rows": self.rows,
@@ -541,12 +634,24 @@ def aggregate_rows(
         ),
         "metrics": canonical_metrics(merged),
     }
+    open_loop = spec.arrivals == "open"
     latency_hist = merged.get("histograms", {}).get(
         "request_latency_cycles", {}
     )
-    for name, q in QUANTILES:
+    for name, q in OPEN_QUANTILES if open_loop else QUANTILES:
         aggregate[f"latency_{name}_cycles"] = (
             histogram_quantile(latency_hist, q) if latency_hist else None
+        )
+    if open_loop:
+        slo_ok = sum(row["slo_ok"] for row in rows)
+        slo_miss = sum(row["slo_miss"] for row in rows)
+        aggregate["slo_ok"] = slo_ok
+        aggregate["slo_miss"] = slo_miss
+        aggregate["peak_outstanding"] = max(
+            (row["peak_outstanding"] for row in rows), default=0
+        )
+        aggregate["goodput_rps"] = (
+            slo_ok / (duration / (CYCLES_PER_US * 1e6)) if duration else 0.0
         )
     return aggregate
 
@@ -655,9 +760,17 @@ def format_web_campaign(result: WebCampaignResult) -> str:
         ),
         f"  throughput: {agg['throughput_rps']:,.0f} req/s (virtual)",
     ]
+    open_loop = spec.arrivals == "open"
+    if open_loop:
+        lines.append(
+            f"  goodput: {agg['goodput_rps']:,.0f} req/s within "
+            f"{spec.slo_us}us SLO  (ok: {agg['slo_ok']}  "
+            f"miss: {agg['slo_miss']}  peak queue: "
+            f"{agg['peak_outstanding']})"
+        )
     quants = "  ".join(
         f"{name}={agg[f'latency_{name}_cycles']}"
-        for name, __ in QUANTILES
+        for name, __ in (OPEN_QUANTILES if open_loop else QUANTILES)
     )
     lines.append(f"  latency cycles: {quants}")
     lines.append("  outcomes:")

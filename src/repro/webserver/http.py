@@ -63,12 +63,23 @@ def parse_request(raw: bytes) -> Optional[HttpRequest]:
     return HttpRequest(method=method, path=path, version=version, headers=headers)
 
 
-def build_request(path: str, keep_alive: bool = False) -> bytes:
-    """An ``ab``-style GET request for ``path``."""
+def build_request(
+    path: str, keep_alive: bool = False, weight: int = 1
+) -> bytes:
+    """An ``ab``-style GET request for ``path``.
+
+    ``weight`` > 1 marks a heavy-tailed request (open-loop arrivals):
+    the server reads the content ``weight`` times and scales its
+    application compute to match, modelling a ``weight``-times-larger
+    object.  Weight-1 requests are byte-identical to the historical
+    closed-loop form.
+    """
     headers = [f"GET {path} HTTP/1.0", "Host: localhost",
                "User-Agent: ApacheBench/2.3"]
     if keep_alive:
         headers.append("Connection: keep-alive")
+    if weight > 1:
+        headers.append(f"X-Weight: {weight}")
     return (CRLF.join(headers) + CRLF + CRLF).encode("ascii")
 
 

@@ -29,6 +29,10 @@ from repro.webserver.http import build_response
 #: formatting, copying) on top of the component invocations.
 APP_REQUEST_CYCLES = 2_400
 
+#: Extra application cycles per additional content chunk of a weighted
+#: (heavy-tailed) request, on top of the extra tseek/tread invocations.
+APP_CHUNK_CYCLES = 800
+
 #: Requests between buffer-page recycling through the memory manager.
 MM_RECYCLE_PERIOD = 64
 
@@ -95,6 +99,10 @@ class WebServer:
         #: (clock, gap_cycles) for every completion-to-completion gap
         #: above :data:`DIP_THRESHOLD_CYCLES`.
         self.dips: List[Tuple[int, int]] = []
+        #: High-water mark of :attr:`outstanding` (open-loop runs grow
+        #: this without bound under overload; closed-loop runs cap it at
+        #: the generator's concurrency).
+        self.peak_outstanding = 0
         self._last_done_clock: Optional[int] = None
         #: Optional hook invoked with the served count after each request
         #: (used by the fault-injection variant of the load generator).
@@ -207,6 +215,12 @@ class WebServer:
         ramfs (content) -> connmgr (account + close), plus fixed
         application work for routing/formatting.  Returns ``(status,
         response_bytes)``.
+
+        An ``X-Weight: w`` header (heavy-tailed open-loop arrivals)
+        models a ``w``-times-larger object: the content is read in ``w``
+        tseek/tread round trips and the application compute grows by
+        :data:`APP_CHUNK_CYCLES` per extra chunk.  Weight-1 requests
+        follow the exact historical invocation sequence.
         """
         kernel.charge(kernel.current, APP_REQUEST_CYCLES)
         conn_id = yield Invoke("connmgr", "conn_open", "client")
@@ -216,6 +230,12 @@ class WebServer:
             yield Invoke("connmgr", "conn_close", conn_id)
             return 400, build_response(400, b"bad request")
         name = request.path.lstrip("/") or "index.html"
+        try:
+            weight = max(1, int(request.headers.get("x-weight", "1")))
+        except ValueError:
+            weight = 1
+        if weight > 1:
+            kernel.charge(kernel.current, (weight - 1) * APP_CHUNK_CYCLES)
         # Shared connection-table update under the stats lock.
         yield Invoke("lock", "lock_take", self.home, self.stats_lock)
         yield Invoke("connmgr", "conn_note", conn_id, request.path)
@@ -225,10 +245,12 @@ class WebServer:
             self.errors += 1
             yield Invoke("connmgr", "conn_close", conn_id)
             return 404, build_response(404, b"not found")
-        yield Invoke("ramfs", "tseek", self.home, fd, 0)
-        body = yield Invoke(
-            "ramfs", "tread", self.home, fd, len(DEFAULT_SITE[name])
-        )
+        body = b""
+        for __ in range(weight):
+            yield Invoke("ramfs", "tseek", self.home, fd, 0)
+            body = yield Invoke(
+                "ramfs", "tread", self.home, fd, len(DEFAULT_SITE[name])
+            )
         yield Invoke("connmgr", "conn_close", conn_id)
         return 200, build_response(200, body)
 
@@ -245,13 +267,23 @@ class WebServer:
     # ------------------------------------------------------------------
     # Load-generator interface
     # ------------------------------------------------------------------
-    def submit(self, raw: bytes) -> int:
-        """Enqueue one raw request; returns its request id."""
+    def submit(self, raw: bytes, at: Optional[int] = None) -> int:
+        """Enqueue one raw request; returns its request id.
+
+        ``at`` back-dates the request to its open-loop *arrival* instant
+        (the submit tick quantizes arrivals, but latency and SLO
+        accounting must start when the request arrived, not when the
+        generator got around to it).  Closed-loop submits leave it None
+        and stamp the current clock.
+        """
         rid = self.submitted
         now = self.system.kernel.clock.now
-        self.pending.append((rid, now, raw))
+        submitted_at = now if at is None else at
+        self.pending.append((rid, submitted_at, raw))
         self.submitted += 1
         self.submit_samples.append((now, self.submitted))
+        if self.outstanding > self.peak_outstanding:
+            self.peak_outstanding = self.outstanding
         recorder = self.system.kernel.recorder
         if recorder.enabled:
             recorder.emit("request_start", rid=rid, queued=len(self.pending))

@@ -360,3 +360,103 @@ class TestRunLoop:
         exact.create_thread("t", prio=1, home="app0", body_factory=body)
         assert exact.run(max_steps=needed) == needed
         assert not exact.budget_exhausted
+
+
+class TestSleep:
+    """The kernel-level ``Sleep`` action (open-loop arrival pacing)."""
+
+    def test_sleep_wakes_at_instant_charging_no_cycles(self):
+        from repro.composite.thread import Sleep
+
+        kernel = make_kernel()
+        seen = {}
+
+        def body(system, thread):
+            yield Sleep(50_000)
+            seen["woke_at"] = kernel.clock.now
+            seen["cycles"] = thread.cycles
+
+        kernel.create_thread("sleeper", prio=5, home="app0", body_factory=body)
+        kernel.run(max_steps=100)
+        assert seen["woke_at"] == 50_000
+        assert seen["cycles"] == 0
+
+    def test_sleep_in_past_resumes_immediately(self):
+        from repro.composite.thread import Sleep
+
+        kernel = make_kernel()
+        seen = {}
+
+        def body(system, thread):
+            yield Invoke("echo", "echo", 1)  # advances the clock
+            before = kernel.clock.now
+            yield Sleep(before - 1)
+            seen["elapsed"] = kernel.clock.now - before
+
+        kernel.create_thread("t", prio=5, home="app0", body_factory=body)
+        kernel.run(max_steps=100)
+        assert seen["elapsed"] == 0
+
+    def test_sleeping_alone_is_not_a_hang(self):
+        # A lone sleeper must ride skip_to_next_expiry, not trip the
+        # all-blocked-no-timer deadlock detector.
+        from repro.composite.thread import Sleep
+
+        kernel = make_kernel()
+
+        def body(system, thread):
+            yield Sleep(10_000)
+
+        kernel.create_thread("t", prio=5, home="app0", body_factory=body)
+        kernel.run(max_steps=100)  # SystemHang would propagate
+        assert kernel.clock.now == 10_000
+
+    def test_sleep_parks_outside_any_component(self):
+        # Fault wakeups (wake_all_in) sweep threads blocked *in* a
+        # component; a sleeper must be invisible to them.
+        from repro.composite.thread import Sleep
+
+        kernel = make_kernel()
+        seen = {}
+
+        def sleeper(system, thread):
+            yield Sleep(50_000)
+
+        def observer(system, thread):
+            while target.state is not ThreadState.BLOCKED:
+                yield Yield()
+            seen["blocked_in"] = target.blocked_in
+            seen["echo_blocked"] = kernel.blocked_threads_in("echo")
+            seen["woken_by_sweep"] = kernel.wake_all_in("echo")
+
+        target = kernel.create_thread(
+            "sleeper", prio=4, home="app0", body_factory=sleeper
+        )
+        kernel.create_thread(
+            "observer", prio=5, home="app0", body_factory=observer
+        )
+        kernel.run(max_steps=200)
+        assert seen["blocked_in"] is None
+        assert seen["echo_blocked"] == []
+        assert seen["woken_by_sweep"] == 0
+
+    def test_ready_threads_run_while_another_sleeps(self):
+        from repro.composite.thread import Sleep
+
+        kernel = make_kernel()
+        order = []
+
+        def sleeper(system, thread):
+            order.append("sleep-start")
+            yield Sleep(1_000_000)
+            order.append("sleep-end")
+
+        def worker(system, thread):
+            for i in range(3):
+                yield Invoke("echo", "echo", i)
+            order.append("worked")
+
+        kernel.create_thread("s", prio=4, home="app0", body_factory=sleeper)
+        kernel.create_thread("w", prio=5, home="app0", body_factory=worker)
+        kernel.run(max_steps=200)
+        assert order == ["sleep-start", "worked", "sleep-end"]

@@ -261,3 +261,149 @@ class TestQueueDiscipline:
         assert isinstance(
             _EventState(parent=0, grp=0, creator="app0").waiters, deque
         )
+
+
+class TestHangAndDurationReporting:
+    """Terminal-condition accounting fixes in ``run_webserver``.
+
+    Regressions: a run ending in ``SystemHang`` reported ``steps = 0``
+    (hiding how much work the deadlocked run burned), and a run with no
+    completed responses fell back to ``kernel.clock.now`` for its
+    duration (crediting boot/arming/idle time as serving time, turning
+    0 served into a plausible-looking tiny throughput).
+    """
+
+    @staticmethod
+    def _prepared_system():
+        from repro.system import build_system
+        from repro.webserver.campaign import prepare_webserver
+
+        system = build_system(ft_mode="superglue")
+        prepare_webserver(system)
+        return system
+
+    def test_hang_reports_steps_actually_consumed(self, monkeypatch):
+        from repro.errors import SystemHang
+
+        system = self._prepared_system()
+        real_run = system.run
+
+        def run_then_hang(**kwargs):
+            # Burn a real slice of the budget, then deadlock.  The
+            # kernel folds the consumed steps into stats["steps"] on
+            # the way out; run_webserver must surface them.
+            real_run(max_steps=400)
+            raise SystemHang("induced", component="kernel")
+
+        monkeypatch.setattr(system, "run", run_then_hang)
+        result = run_webserver(
+            ft_mode="superglue", n_requests=50, system=system
+        )
+        assert result.crashed == "hang"
+        assert result.steps == 400
+
+    def test_no_progress_duration_is_zero(self, monkeypatch):
+        from repro.errors import SystemHang
+
+        system = self._prepared_system()
+
+        def advance_clock_and_hang(**kwargs):
+            # The clock moved (boot, arming, idling) but nothing was
+            # ever served: duration must clamp to last progress (none).
+            system.kernel.clock.now += 5_000_000
+            raise SystemHang("induced", component="kernel")
+
+        monkeypatch.setattr(system, "run", advance_clock_and_hang)
+        result = run_webserver(
+            ft_mode="superglue", n_requests=50, system=system
+        )
+        assert result.served == 0
+        assert result.duration_cycles == 0
+        assert result.throughput_rps == 0.0
+
+    def test_duration_clamps_to_last_completion(self):
+        # Fault-free closed-loop sanity: duration equals the last
+        # progress sample, not whatever the clock reached afterwards.
+        result = run_webserver(ft_mode="superglue", n_requests=40)
+        assert result.duration_cycles == result.series[-1][0]
+
+
+class TestOpenLoopRuns:
+    @staticmethod
+    def _spec(**kwargs):
+        from repro.webserver.arrivals import ArrivalSpec
+
+        defaults = dict(n_requests=150, load=1.5, phases="steady", seed=0)
+        defaults.update(kwargs)
+        return ArrivalSpec(**defaults)
+
+    def test_underload_meets_slo(self):
+        result = run_webserver(
+            ft_mode="superglue",
+            arrival_spec=self._spec(load=0.5),
+            slo_us=500,
+        )
+        assert result.crashed is None
+        assert result.served == result.requests
+        assert result.slo_ok == result.requests
+        assert result.slo_miss == 0
+        assert result.goodput_rps == result.throughput_rps
+
+    def test_overload_grows_queue_and_misses_slo(self):
+        result = run_webserver(
+            ft_mode="superglue",
+            arrival_spec=self._spec(load=2.0),
+            slo_us=500,
+        )
+        # Open loop: the queue is unbounded, so sustained 2x overload
+        # must push outstanding far beyond any closed-loop cap...
+        assert result.peak_outstanding > 20
+        # ...and the latency tail must blow the SLO even though every
+        # request is eventually served.
+        assert result.served == result.requests
+        assert 0 < result.slo_ok < result.requests
+        assert result.goodput_rps < result.throughput_rps
+
+    def test_latency_measured_from_arrival(self):
+        # Back-dating: under overload, queueing delay dominates, so
+        # per-request latencies must far exceed the fault-free
+        # closed-loop service latency even at equal work.
+        closed = run_webserver(ft_mode="superglue", n_requests=150)
+        open_ = run_webserver(
+            ft_mode="superglue", arrival_spec=self._spec(load=2.0)
+        )
+        assert max(open_.latencies) > 4 * max(closed.latencies)
+
+    def test_open_loop_deterministic(self):
+        spec = self._spec(load=1.8, phases="burst")
+        a = run_webserver(ft_mode="superglue", arrival_spec=spec, slo_us=500)
+        b = run_webserver(ft_mode="superglue", arrival_spec=spec, slo_us=500)
+        assert a.latencies == b.latencies
+        assert a.duration_cycles == b.duration_cycles
+        assert a.peak_outstanding == b.peak_outstanding
+
+    def test_weighted_requests_cost_more(self):
+        # Same arrival count, heavier tail: total service time grows.
+        light = run_webserver(
+            ft_mode="superglue",
+            arrival_spec=self._spec(weight_min=1, weight_max=1),
+        )
+        heavy = run_webserver(
+            ft_mode="superglue",
+            arrival_spec=self._spec(weight_min=8, weight_max=8),
+        )
+        assert heavy.served == light.served == 150
+        assert sum(heavy.latencies) > sum(light.latencies)
+
+    def test_faulted_open_loop_recovers(self):
+        result = run_webserver(
+            ft_mode="superglue",
+            arrival_spec=self._spec(load=1.5),
+            slo_us=500,
+            with_faults=True,
+            n_faults=2,
+            seed=5,
+            warn_shortfall=False,
+        )
+        assert result.faults_armed == 2
+        assert result.served == result.requests

@@ -6,6 +6,7 @@ import pytest
 
 from repro.__main__ import main
 from repro.observe.export import read_trace
+from repro.observe.metrics import SUB_BUCKET_BITS, LogLinearHistogram
 from repro.webserver.campaign import (
     WebRunSpec,
     aggregate_rows,
@@ -18,6 +19,12 @@ from repro.webserver.campaign import (
 
 #: Small but faulted: every run still exercises injection + recovery.
 SMOKE_SPEC = WebRunSpec(n_requests=40, n_faults=2)
+
+#: Open-loop equivalent: sustained overload so queues actually grow.
+OPEN_SPEC = WebRunSpec(
+    n_requests=60, n_faults=2, arrivals="open", load=1.5, phases="burst",
+    slo_us=500,
+)
 
 
 class TestHistogramQuantile:
@@ -39,6 +46,91 @@ class TestHistogramQuantile:
     def test_zero_bucket(self):
         hist = {"count": 2, "buckets": {"0": 2}, "max": 0}
         assert histogram_quantile(hist, 0.99) == 0
+
+
+def _loglinear_dict(values):
+    h = LogLinearHistogram()
+    for v in values:
+        h.observe(v)
+    return h.to_dict()
+
+
+class TestHistogramQuantileLogLinear:
+    def test_p999_lands_in_sparse_tail_bucket(self):
+        # Many fast samples, one extreme outlier in the top 0.1%: p999
+        # must find the outlier's sub-bucket, not the body.
+        hist = _loglinear_dict([1_000] * 500 + [1_000_000])
+        p999 = histogram_quantile(hist, 0.999)
+        assert p999 == 1_000_000  # clamped to the observed max
+        # And the body is still where it should be.
+        p50 = histogram_quantile(hist, 0.50)
+        assert abs(p50 - 1_000) / 1_000 <= 2 ** -SUB_BUCKET_BITS
+
+    def test_zero_bucket(self):
+        hist = _loglinear_dict([0, 0, 0])
+        assert histogram_quantile(hist, 0.999) == 0
+
+    def test_observed_max_clamps_bucket_upper_bound(self):
+        # 1_000_000 lands in a sub-bucket whose upper bound exceeds it;
+        # the observed max must tighten the answer.
+        hist = _loglinear_dict([1_000_000])
+        assert histogram_quantile(hist, 0.99) == 1_000_000
+
+    def test_merged_equals_serial(self):
+        from repro.observe.metrics import merge_metrics
+
+        all_values = [3, 40, 41, 512, 513, 90_000, 90_001, 12, 7_777]
+        serial = _loglinear_dict(all_values)
+        merged = {}
+        merge_metrics(
+            merged, {"histograms": {"h": _loglinear_dict(all_values[:4])}}
+        )
+        merge_metrics(
+            merged, {"histograms": {"h": _loglinear_dict(all_values[4:])}}
+        )
+        for q in (0.5, 0.9, 0.99, 0.999):
+            assert histogram_quantile(
+                merged["histograms"]["h"], q
+            ) == histogram_quantile(serial, q)
+
+    def test_sub_bucket_resolution_beats_power_of_two(self):
+        # Two values in the same power-of-two decade but different
+        # sub-buckets must be distinguishable: that is the whole point
+        # of the log-linear shape for SLO deadlines.
+        hist = _loglinear_dict([1_050_000] * 9 + [2_000_000])
+        p50 = histogram_quantile(hist, 0.50)
+        p99 = histogram_quantile(hist, 0.99)
+        assert p50 < 1_100_000 < 1_950_000 < p99
+
+
+class TestFaultTargetCycle:
+    def test_ramfs_weighted_and_sched_absent(self):
+        # See the FAULT_TARGET_CYCLE docstring: ramfs is doubled
+        # (request-path exposure weighting) and sched is excluded
+        # (web-path threads never execute inside it, so an armed sched
+        # fault would never deliver).  Pin both properties.
+        from repro.webserver.loadgen import FAULT_TARGET_CYCLE
+
+        assert FAULT_TARGET_CYCLE.count("ramfs") == 2
+        assert "sched" not in FAULT_TARGET_CYCLE
+
+    def test_web_path_never_executes_in_sched(self):
+        # The exclusion's premise, verified against the live request
+        # path: no thread executes a trace within the sched component.
+        from repro.swifi.injector import SwifiController
+        from repro.system import build_system
+        from repro.webserver.campaign import prepare_webserver
+        from repro.webserver.loadgen import run_webserver
+
+        system = build_system(ft_mode="superglue")
+        prepare_webserver(system)
+        swifi = SwifiController(system.kernel, seed=0)
+        result = run_webserver(
+            ft_mode="superglue", n_requests=30, system=system
+        )
+        assert result.crashed is None
+        assert "sched" not in swifi.trace_counts
+        assert swifi.trace_counts.get("ramfs", 0) > 0
 
 
 class TestSpec:
@@ -207,6 +299,93 @@ class TestArtifacts:
         assert timing["runs"] == 2
 
 
+class TestOpenLoopCampaign:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WebRunSpec(arrivals="half-open")
+        with pytest.raises(ValueError):
+            WebRunSpec(fault_class="gamma-ray")
+        with pytest.raises(ValueError):
+            WebRunSpec(arrivals="open", load=0)
+        with pytest.raises(ValueError):
+            WebRunSpec(arrivals="open", phases="a:0.5@1.0")
+        with pytest.raises(ValueError):
+            WebRunSpec(arrivals="open", slo_us=0)
+
+    def test_fingerprint_extends_only_for_non_defaults(self):
+        # Historical closed-loop reg fingerprints are frozen: trace
+        # artifacts and recordings key on them.
+        assert SMOKE_SPEC.fingerprint() == (
+            "webserver/superglue/r40/c10/w2/f2/ondemand"
+        )
+        open_fp = OPEN_SPEC.fingerprint()
+        assert "/open-l1.5-burst-slo500-a0" in open_fp
+        assert WebRunSpec(fault_class="mem").fingerprint().endswith("/mem")
+
+    def test_row_shape(self):
+        row = execute_web_run(OPEN_SPEC, web_run_seeds(1, 1)[0])
+        for key in (
+            "peak_outstanding", "slo_ok", "slo_miss", "goodput_rps",
+            "latency_p999_cycles",
+        ):
+            assert key in row
+        assert row["slo_ok"] + row["slo_miss"] == row["requests"]
+        hist = row["metrics"]["histograms"]["request_latency_cycles"]
+        assert hist["sub_bits"] == SUB_BUCKET_BITS
+        assert row["latency_p99_cycles"] <= row["latency_p999_cycles"]
+
+    def test_serial_equals_parallel(self):
+        seeds = web_run_seeds(1, 4)
+        serial = run_webserver_campaign(seeds, OPEN_SPEC, workers=1)
+        parallel = run_webserver_campaign(seeds, OPEN_SPEC, workers=2)
+        assert serial.to_json_dict() == parallel.to_json_dict()
+
+    def test_pooled_equals_fresh(self, monkeypatch):
+        seeds = web_run_seeds(2, 3)
+        pooled = run_webserver_campaign(seeds, OPEN_SPEC, workers=1)
+        monkeypatch.setenv("REPRO_SYSTEM_POOL", "0")
+        fresh = run_webserver_campaign(seeds, OPEN_SPEC, workers=1)
+        assert pooled.to_json_dict() == fresh.to_json_dict()
+
+    def test_aggregate_open_loop_fields(self):
+        result = run_webserver_campaign(
+            web_run_seeds(1, 3), OPEN_SPEC, workers=1
+        )
+        agg = result.aggregate
+        assert agg["slo_ok"] + agg["slo_miss"] == agg["requests"]
+        assert agg["goodput_rps"] <= agg["throughput_rps"] + 1e-9
+        assert agg["peak_outstanding"] == max(
+            row["peak_outstanding"] for row in result.rows
+        )
+        assert agg["latency_p999_cycles"] >= agg["latency_p99_cycles"]
+        assert aggregate_rows(
+            OPEN_SPEC, list(reversed(result.rows))
+        ) == agg
+
+    def test_overload_grows_queue_past_closed_loop_bound(self):
+        row = execute_web_run(OPEN_SPEC, web_run_seeds(1, 1)[0])
+        # The closed-loop generator would cap outstanding at
+        # concurrency(10); sustained 1.5x overload must blow past it.
+        assert row["peak_outstanding"] > OPEN_SPEC.concurrency
+
+    def test_fault_classes_execute(self):
+        for fault_class in ("mem", "idl", "burst"):
+            spec = WebRunSpec(
+                n_requests=40, n_faults=1, arrivals="open", load=1.2,
+                fault_class=fault_class,
+            )
+            row = execute_web_run(spec, web_run_seeds(1, 1)[0])
+            assert row["faults_armed"] >= 1
+
+    def test_format_mentions_goodput(self):
+        result = run_webserver_campaign(
+            web_run_seeds(1, 2), OPEN_SPEC, workers=1
+        )
+        text = format_web_campaign(result)
+        assert "goodput" in text
+        assert "p999=" in text
+
+
 class TestCli:
     def test_fig7_campaign_json(self, tmp_path, capsys):
         artifact = str(tmp_path / "fig7.json")
@@ -240,3 +419,52 @@ class TestCli:
             web_run_seeds(1, 2), SMOKE_SPEC, workers=1
         )
         assert json.loads(open(artifact).read()) == direct.to_json_dict()
+
+    def test_fig7_openloop_single_run(self, capsys):
+        assert (
+            main(
+                [
+                    "fig7", "--arrivals", "open", "--requests", "60",
+                    "--load", "1.5", "--phases", "burst",
+                    "--fault-class", "reg",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Open-loop web-server run" in out
+        assert "goodput" in out
+        assert "reg faults" in out
+
+    def test_fig7_openloop_campaign_json(self, tmp_path, capsys):
+        artifact = str(tmp_path / "open.json")
+        assert (
+            main(
+                [
+                    "fig7", "--seeds", "2", "--workers", "1",
+                    "--requests", "60", "--faults", "2",
+                    "--arrivals", "open", "--load", "1.5",
+                    "--phases", "burst", "--json", artifact,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "open-loop load 1.5" in out
+        data = json.loads(open(artifact).read())
+        assert data["spec"]["arrivals"] == "open"
+        assert data["aggregate"]["slo_ok"] + data["aggregate"]["slo_miss"] == (
+            data["aggregate"]["requests"]
+        )
+
+    def test_fig7_rejects_bad_phase_spec(self, capsys):
+        assert (
+            main(
+                [
+                    "fig7", "--seeds", "1", "--arrivals", "open",
+                    "--phases", "a:0.5@1.0",
+                ]
+            )
+            == 1
+        )
+        assert "invalid fig7 spec" in capsys.readouterr().err
